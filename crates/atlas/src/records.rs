@@ -1,0 +1,244 @@
+//! IP-echo record types and their flat-text serialization.
+//!
+//! The real datasets are distributed as flat text; we mirror that with a
+//! TSV layout of one measurement per line:
+//!
+//! ```text
+//! <probe_id> TAB <hour> TAB <af> TAB <client_ip> TAB <src_addr>
+//! ```
+
+use crate::series::ProbeId;
+use dynamips_netsim::SimTime;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The RIPE NCC address used for testing probes before shipping; appears as
+/// the first reported address on many probes and must be filtered
+/// (Appendix A.1).
+pub const TEST_ADDRESS: Ipv4Addr = Ipv4Addr::new(193, 0, 0, 78);
+
+/// One hourly IPv4 IP-echo measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EchoV4 {
+    /// Measurement hour.
+    pub time: SimTime,
+    /// Publicly visible address (`X-Client-IP`).
+    pub client: Ipv4Addr,
+    /// The probe's locally configured address; RFC 1918 behind a typical
+    /// home NAT.
+    pub src: Ipv4Addr,
+}
+
+/// One hourly IPv6 IP-echo measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EchoV6 {
+    /// Measurement hour.
+    pub time: SimTime,
+    /// Publicly visible address (`X-Client-IP`).
+    pub client: Ipv6Addr,
+    /// The probe's locally configured address; equal to `client` in a
+    /// typical (NAT-free) IPv6 deployment.
+    pub src: Ipv6Addr,
+}
+
+/// Serialize one probe's measurements as TSV lines (v4 then v6, each in
+/// time order).
+pub fn to_tsv(probe: ProbeId, v4: &[EchoV4], v6: &[EchoV6]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in v4 {
+        writeln!(
+            out,
+            "{}\t{}\t4\t{}\t{}",
+            probe.0,
+            r.time.hours(),
+            r.client,
+            r.src
+        )
+        .expect("string write");
+    }
+    for r in v6 {
+        writeln!(
+            out,
+            "{}\t{}\t6\t{}\t{}",
+            probe.0,
+            r.time.hours(),
+            r.client,
+            r.src
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Error from parsing an echo TSV dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EchoParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for EchoParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "echo TSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for EchoParseError {}
+
+/// One probe's parsed records: `(probe, v4 records, v6 records)`.
+pub type ProbeRecords = (ProbeId, Vec<EchoV4>, Vec<EchoV6>);
+
+/// Parse a TSV dump back into per-probe measurement lists, grouped by probe
+/// id in order of first appearance.
+pub fn from_tsv(text: &str) -> Result<Vec<ProbeRecords>, EchoParseError> {
+    let mut order: Vec<ProbeId> = Vec::new();
+    let mut map: std::collections::HashMap<u32, (Vec<EchoV4>, Vec<EchoV6>)> =
+        std::collections::HashMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(EchoParseError {
+                line: lineno,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let probe: u32 = fields[0].parse().map_err(|_| EchoParseError {
+            line: lineno,
+            message: format!("bad probe id {:?}", fields[0]),
+        })?;
+        let hour: u64 = fields[1].parse().map_err(|_| EchoParseError {
+            line: lineno,
+            message: format!("bad hour {:?}", fields[1]),
+        })?;
+        let entry = map.entry(probe).or_insert_with(|| {
+            order.push(ProbeId(probe));
+            (Vec::new(), Vec::new())
+        });
+        match fields[2] {
+            "4" => {
+                let client: Ipv4Addr = fields[3].parse().map_err(|_| EchoParseError {
+                    line: lineno,
+                    message: format!("bad IPv4 client {:?}", fields[3]),
+                })?;
+                let src: Ipv4Addr = fields[4].parse().map_err(|_| EchoParseError {
+                    line: lineno,
+                    message: format!("bad IPv4 src {:?}", fields[4]),
+                })?;
+                entry.0.push(EchoV4 {
+                    time: SimTime(hour),
+                    client,
+                    src,
+                });
+            }
+            "6" => {
+                let client: Ipv6Addr = fields[3].parse().map_err(|_| EchoParseError {
+                    line: lineno,
+                    message: format!("bad IPv6 client {:?}", fields[3]),
+                })?;
+                let src: Ipv6Addr = fields[4].parse().map_err(|_| EchoParseError {
+                    line: lineno,
+                    message: format!("bad IPv6 src {:?}", fields[4]),
+                })?;
+                entry.1.push(EchoV6 {
+                    time: SimTime(hour),
+                    client,
+                    src,
+                });
+            }
+            other => {
+                return Err(EchoParseError {
+                    line: lineno,
+                    message: format!("bad address family {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|p| {
+            let (v4, v6) = map.remove(&p.0).expect("inserted above");
+            (p, v4, v6)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<EchoV4>, Vec<EchoV6>) {
+        (
+            vec![
+                EchoV4 {
+                    time: SimTime(0),
+                    client: "84.128.0.7".parse().unwrap(),
+                    src: "192.168.1.20".parse().unwrap(),
+                },
+                EchoV4 {
+                    time: SimTime(1),
+                    client: "84.128.0.7".parse().unwrap(),
+                    src: "192.168.1.20".parse().unwrap(),
+                },
+            ],
+            vec![EchoV6 {
+                time: SimTime(0),
+                client: "2003:40:a0:aa00:225:96ff:fe12:3456".parse().unwrap(),
+                src: "2003:40:a0:aa00:225:96ff:fe12:3456".parse().unwrap(),
+            }],
+        )
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let (v4, v6) = sample();
+        let text = to_tsv(ProbeId(17), &v4, &v6);
+        let parsed = from_tsv(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let (probe, pv4, pv6) = &parsed[0];
+        assert_eq!(*probe, ProbeId(17));
+        assert_eq!(pv4, &v4);
+        assert_eq!(pv6, &v6);
+    }
+
+    #[test]
+    fn tsv_groups_multiple_probes_in_first_appearance_order() {
+        let (v4, v6) = sample();
+        let mut text = to_tsv(ProbeId(9), &v4, &v6);
+        text.push_str(&to_tsv(ProbeId(3), &v4, &v6));
+        let parsed = from_tsv(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, ProbeId(9));
+        assert_eq!(parsed[1].0, ProbeId(3));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_tsv("1\t0\t4\t84.128.0.7\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("5 fields"));
+
+        let err = from_tsv("1\t0\t5\t::1\t::1\n").unwrap_err();
+        assert!(err.message.contains("address family"));
+
+        let err = from_tsv("1\t0\t4\tnot-an-ip\t192.168.1.1\n").unwrap_err();
+        assert!(err.message.contains("bad IPv4 client"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let parsed = from_tsv("# header\n\n").unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn test_address_constant_matches_appendix() {
+        assert_eq!(TEST_ADDRESS.to_string(), "193.0.0.78");
+    }
+}

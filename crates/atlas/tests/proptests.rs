@@ -1,0 +1,80 @@
+//! Property tests for the IP-echo TSV serialization.
+
+use dynamips_atlas::records::{from_tsv, to_tsv, EchoV4, EchoV6};
+use dynamips_atlas::ProbeId;
+use dynamips_netsim::SimTime;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_v4() -> impl Strategy<Value = Vec<EchoV4>> {
+    proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..40).prop_map(|v| {
+        let mut t = 0u64;
+        v.into_iter()
+            .map(|(dt, client, src)| {
+                t += 1 + (dt % 5) as u64;
+                EchoV4 {
+                    time: SimTime(t),
+                    client: Ipv4Addr::from(client),
+                    src: Ipv4Addr::from(src),
+                }
+            })
+            .collect()
+    })
+}
+
+fn arb_v6() -> impl Strategy<Value = Vec<EchoV6>> {
+    proptest::collection::vec((any::<u32>(), any::<u128>(), any::<u128>()), 0..40).prop_map(|v| {
+        let mut t = 0u64;
+        v.into_iter()
+            .map(|(dt, client, src)| {
+                t += 1 + (dt % 5) as u64;
+                EchoV6 {
+                    time: SimTime(t),
+                    client: Ipv6Addr::from(client),
+                    src: Ipv6Addr::from(src),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tsv_round_trips_arbitrary_records(
+        probe in any::<u32>(),
+        v4 in arb_v4(),
+        v6 in arb_v6(),
+    ) {
+        prop_assume!(!v4.is_empty() || !v6.is_empty());
+        let text = to_tsv(ProbeId(probe), &v4, &v6);
+        let parsed = from_tsv(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].0, ProbeId(probe));
+        prop_assert_eq!(&parsed[0].1, &v4);
+        prop_assert_eq!(&parsed[0].2, &v6);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(text in "[ -~\n\t]{0,400}") {
+        // Errors are fine; panics are not.
+        let _ = from_tsv(&text);
+    }
+
+    #[test]
+    fn parser_rejects_truncated_lines(
+        probe in any::<u32>(),
+        v4 in arb_v4(),
+        cut in 1usize..20,
+    ) {
+        prop_assume!(!v4.is_empty());
+        let text = to_tsv(ProbeId(probe), &v4, &[]);
+        let cut = cut.min(text.trim_end().len() - 1);
+        let truncated = &text.trim_end()[..text.trim_end().len() - cut];
+        // (a cut inside an IP can still leave a shorter valid address, so
+        // Ok with the same record count is possible — but never *more*)
+        if let Ok(parsed) = from_tsv(truncated) {
+            let records: usize = parsed.iter().map(|(_, a, b)| a.len() + b.len()).sum();
+            prop_assert!(records <= v4.len(), "truncation must not add records");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Design-choice ablations (DESIGN.md):
+//!
+//! 1. `ablation_lpm` — binary trie vs linear scan for origin lookup.
+//! 2. `ablation_ttf` — total-time-fraction vs naive PMF: quantifies the
+//!    overrepresentation Eq. 1 corrects (reported via a printed summary,
+//!    benchmarked for cost).
+//! 3. `ablation_sanitize` — analysis over sanitized vs raw probes.
+//! 4. `ablation_stream` — streaming per-probe analysis vs materializing
+//!    every probe series first.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynamips_atlas::{AtlasCollector, AtlasConfig};
+use dynamips_core::changes::{histories_from_records, sandwiched_durations};
+use dynamips_core::durations::DurationSet;
+use dynamips_core::sanitize::{sanitize_probe, SanitizeConfig, SanitizeOutcome, SanitizeReport};
+use dynamips_netaddr::{Ipv4Prefix, Ipv4Trie};
+use dynamips_netsim::profiles::atlas_world;
+use dynamips_netsim::rngutil::derive_rng;
+use dynamips_netsim::time::Window;
+use rand::Rng;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn ablation_lpm(c: &mut Criterion) {
+    let mut rng = derive_rng(10, 0);
+    let entries: Vec<(Ipv4Prefix, u32)> = (0..5000)
+        .map(|_| {
+            let bits: u32 = rng.gen();
+            let len = rng.gen_range(8..=24);
+            (
+                Ipv4Prefix::new_truncated(Ipv4Addr::from(bits), len).unwrap(),
+                rng.gen(),
+            )
+        })
+        .collect();
+    let mut trie = Ipv4Trie::new();
+    for (p, v) in &entries {
+        trie.insert(*p, *v);
+    }
+    let queries: Vec<Ipv4Addr> = (0..200).map(|_| Ipv4Addr::from(rng.gen::<u32>())).collect();
+
+    let mut g = c.benchmark_group("ablation_lpm");
+    g.bench_function("trie", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(trie.lookup(*q));
+            }
+        })
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let best = entries
+                    .iter()
+                    .filter(|(p, _)| p.contains(*q))
+                    .max_by_key(|(p, _)| p.len());
+                black_box(best);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn ablation_ttf(c: &mut Criterion) {
+    // The paper's own example population: one CPE renumbering daily, one
+    // monthly, observed for a year.
+    let mut set = DurationSet::new();
+    set.extend(std::iter::repeat_n(24, 365));
+    set.extend(std::iter::repeat_n(30 * 24, 12));
+
+    let naive_share_1d = 365.0 / 377.0; // PMF puts 97% at 1 day
+    let ttf_share_1d = set.total_time_fraction(24); // TTF: 50%
+    assert!(naive_share_1d > 0.95 && ttf_share_1d < 0.55);
+
+    let marks: Vec<u64> = (1..=48).map(|i| i * 24).collect();
+    let mut g = c.benchmark_group("ablation_ttf");
+    g.bench_function("cumulative_ttf", |b| {
+        b.iter(|| black_box(set.cumulative_ttf_at(&marks)))
+    });
+    g.bench_function("naive_pmf_cdf", |b| {
+        b.iter(|| {
+            // Unweighted CDF over the same marks.
+            let mut sorted: Vec<u64> = set.raw().to_vec();
+            sorted.sort_unstable();
+            let out: Vec<f64> = marks
+                .iter()
+                .map(|m| sorted.partition_point(|d| d <= m) as f64 / sorted.len() as f64)
+                .collect();
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn ablation_sanitize(c: &mut Criterion) {
+    let world = atlas_world(11, 0.015);
+    let window = Window::atlas_paper();
+    let probes = AtlasCollector::new(&world, window, AtlasConfig::default()).collect_all();
+
+    let mut g = c.benchmark_group("ablation_sanitize");
+    g.sample_size(10);
+    g.bench_function("with_sanitizer", |b| {
+        b.iter(|| {
+            let mut report = SanitizeReport::default();
+            let cfg = SanitizeConfig::default();
+            let mut durations = DurationSet::new();
+            for series in &probes {
+                if let SanitizeOutcome::Clean(hs) =
+                    sanitize_probe(series, world.routing(), &cfg, &mut report)
+                {
+                    for h in hs {
+                        durations.extend(sandwiched_durations(&h.v4));
+                    }
+                }
+            }
+            black_box(durations.len())
+        })
+    });
+    g.bench_function("without_sanitizer", |b| {
+        b.iter(|| {
+            // Raw spans straight from the echo records: cheaper, but the
+            // artifact probes pollute the duration distribution (this is
+            // the quality ablation; the paper's Appendix A.1 exists for a
+            // reason).
+            let mut durations = DurationSet::new();
+            for series in &probes {
+                let (v4, _) = histories_from_records(&series.v4, &series.v6);
+                durations.extend(sandwiched_durations(&v4));
+            }
+            black_box(durations.len())
+        })
+    });
+    g.finish();
+}
+
+fn ablation_stream(c: &mut Criterion) {
+    let world = atlas_world(12, 0.015);
+    let window = Window::atlas_paper();
+
+    let mut g = c.benchmark_group("ablation_stream");
+    g.sample_size(10);
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            // One probe in memory at a time.
+            let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
+            let mut n = 0usize;
+            collector.for_each_probe(|series| {
+                let (v4, _) = histories_from_records(&series.v4, &series.v6);
+                n += v4.len();
+            });
+            black_box(n)
+        })
+    });
+    g.bench_function("materialized", |b| {
+        b.iter(|| {
+            // Every probe's hourly series resident simultaneously.
+            let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
+            let probes = collector.collect_all();
+            let mut n = 0usize;
+            for series in &probes {
+                let (v4, _) = histories_from_records(&series.v4, &series.v6);
+                n += v4.len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_lpm,
+    ablation_ttf,
+    ablation_sanitize,
+    ablation_stream
+);
+criterion_main!(benches);

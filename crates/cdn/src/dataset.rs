@@ -1,0 +1,244 @@
+//! The aggregated association dataset.
+
+use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use dynamips_routing::Asn;
+
+/// One `(IPv4 /24, IPv6 /64, date)` association tuple after pre-processing,
+/// carrying the (matching) origin AS and its access-type label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Association {
+    /// The IPv4 side, aggregated to a /24.
+    pub v24: Ipv4Prefix,
+    /// The IPv6 side, aggregated to a /64.
+    pub p64: Ipv6Prefix,
+    /// Day index since the simulation epoch.
+    pub day: u32,
+    /// Origin AS (identical for both sides after filtering).
+    pub asn: Asn,
+    /// Whether the AS is a cellular access network.
+    pub mobile: bool,
+}
+
+/// The full pre-processed dataset plus pre-processing counters (the paper
+/// reports 32.7 B raw associations reduced to 31.6 B after the AS-mismatch
+/// filter; we track the same accounting at simulation scale).
+#[derive(Debug, Clone, Default)]
+pub struct AssociationDataset {
+    /// Retained associations, ordered by (ASN, subscriber, day) as emitted.
+    pub tuples: Vec<Association>,
+    /// Raw association count before filtering.
+    pub raw_count: u64,
+    /// Associations discarded because the IPv4 and IPv6 origin AS differed.
+    pub discarded_as_mismatch: u64,
+    /// Associations discarded because one side was not routed at all.
+    pub discarded_unrouted: u64,
+}
+
+impl AssociationDataset {
+    /// Retained tuple count.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of distinct /64 prefixes (the paper reports 2.1 B at full
+    /// scale and uses this to quantify the cellular share).
+    pub fn unique_p64_count(&self) -> usize {
+        let mut p64s: Vec<u128> = self.tuples.iter().map(|t| t.p64.bits()).collect();
+        p64s.sort_unstable();
+        p64s.dedup();
+        p64s.len()
+    }
+
+    /// Fraction of distinct /64s that belong to cellular networks (65.7% in
+    /// the paper).
+    pub fn mobile_p64_fraction(&self) -> f64 {
+        let mut seen: std::collections::HashMap<u128, bool> = std::collections::HashMap::new();
+        for t in &self.tuples {
+            seen.entry(t.p64.bits()).or_insert(t.mobile);
+        }
+        if seen.is_empty() {
+            return 0.0;
+        }
+        let mobile = seen.values().filter(|&&m| m).count();
+        mobile as f64 / seen.len() as f64
+    }
+}
+
+/// Serialize the dataset as TSV, one association per line:
+/// `v24_network TAB p64_network TAB day TAB asn TAB mobile(0|1)`.
+/// Mirrors the flat-file form the paper's aggregated dataset would take.
+pub fn to_tsv(ds: &AssociationDataset) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(ds.tuples.len() * 48);
+    for t in &ds.tuples {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            t.v24.network(),
+            t.p64.network(),
+            t.day,
+            t.asn.0,
+            u8::from(t.mobile)
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Error from parsing an association TSV dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssociationParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AssociationParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "association TSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AssociationParseError {}
+
+/// Parse an association TSV dump. Blank lines and `#` comments are
+/// ignored. Pre-processing counters are not serialized; the returned
+/// dataset's `raw_count` equals its tuple count.
+pub fn from_tsv(text: &str) -> Result<AssociationDataset, AssociationParseError> {
+    let mut ds = AssociationDataset::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 5 {
+            return Err(AssociationParseError {
+                line: lineno,
+                message: format!("expected 5 fields, got {}", f.len()),
+            });
+        }
+        let err = |message: String| AssociationParseError {
+            line: lineno,
+            message,
+        };
+        let v24: Ipv4Prefix = format!("{}/24", f[0])
+            .parse()
+            .map_err(|e| err(format!("bad /24: {e}")))?;
+        let p64: Ipv6Prefix = format!("{}/64", f[1])
+            .parse()
+            .map_err(|e| err(format!("bad /64: {e}")))?;
+        let day: u32 = f[2]
+            .parse()
+            .map_err(|_| err(format!("bad day {:?}", f[2])))?;
+        let asn: u32 = f[3]
+            .parse()
+            .map_err(|_| err(format!("bad asn {:?}", f[3])))?;
+        let mobile = match f[4] {
+            "0" => false,
+            "1" => true,
+            other => return Err(err(format!("bad mobile flag {other:?}"))),
+        };
+        ds.tuples.push(Association {
+            v24,
+            p64,
+            day,
+            asn: Asn(asn),
+            mobile,
+        });
+    }
+    ds.raw_count = ds.tuples.len() as u64;
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assoc(v24: &str, p64: &str, day: u32, asn: u32, mobile: bool) -> Association {
+        Association {
+            v24: v24.parse().unwrap(),
+            p64: p64.parse().unwrap(),
+            day,
+            asn: Asn(asn),
+            mobile,
+        }
+    }
+
+    #[test]
+    fn unique_p64_counting() {
+        let ds = AssociationDataset {
+            tuples: vec![
+                assoc("84.128.0.0/24", "2003:40:a0:aa00::/64", 0, 3320, false),
+                assoc("84.128.0.0/24", "2003:40:a0:aa00::/64", 1, 3320, false),
+                assoc("84.128.1.0/24", "2003:40:a0:bb00::/64", 1, 3320, false),
+            ],
+            raw_count: 3,
+            ..Default::default()
+        };
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.unique_p64_count(), 2);
+    }
+
+    #[test]
+    fn mobile_fraction_by_unique_p64() {
+        let ds = AssociationDataset {
+            tuples: vec![
+                assoc("84.128.0.0/24", "2003:40:a0:aa00::/64", 0, 3320, false),
+                // Same mobile /64 seen twice: counted once.
+                assoc("92.40.1.0/24", "2a01:4c80:1:2::/64", 0, 12576, true),
+                assoc("92.40.2.0/24", "2a01:4c80:1:2::/64", 1, 12576, true),
+                assoc("92.40.1.0/24", "2a01:4c80:9:9::/64", 2, 12576, true),
+            ],
+            raw_count: 4,
+            ..Default::default()
+        };
+        let f = ds.mobile_p64_fraction();
+        assert!((f - 2.0 / 3.0).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = AssociationDataset::default();
+        assert!(ds.is_empty());
+        assert_eq!(ds.mobile_p64_fraction(), 0.0);
+        assert_eq!(ds.unique_p64_count(), 0);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let ds = AssociationDataset {
+            tuples: vec![
+                assoc("84.128.0.0/24", "2003:40:a0:aa00::/64", 2191, 3320, false),
+                assoc("92.40.2.0/24", "2a01:4c80:1:2::/64", 2200, 12576, true),
+            ],
+            raw_count: 2,
+            ..Default::default()
+        };
+        let text = to_tsv(&ds);
+        let parsed = from_tsv(&text).unwrap();
+        assert_eq!(parsed.tuples, ds.tuples);
+        assert_eq!(parsed.raw_count, 2);
+    }
+
+    #[test]
+    fn tsv_parse_errors() {
+        assert_eq!(from_tsv("a\tb\tc\n").unwrap_err().line, 1);
+        let bad_flag = "84.128.0.0\t2003::\t1\t3320\t7\n";
+        assert!(from_tsv(bad_flag)
+            .unwrap_err()
+            .message
+            .contains("mobile flag"));
+        let bad_p64 = "84.128.0.0\tnot-v6\t1\t3320\t0\n";
+        assert!(from_tsv(bad_p64).unwrap_err().message.contains("bad /64"));
+        // Comments and blanks are fine.
+        assert!(from_tsv("# header\n\n").unwrap().is_empty());
+    }
+}

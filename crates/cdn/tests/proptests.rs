@@ -1,0 +1,61 @@
+//! Property tests for the association-dataset TSV serialization.
+
+use dynamips_cdn::dataset::{from_tsv, to_tsv};
+use dynamips_cdn::{Association, AssociationDataset};
+use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use dynamips_routing::Asn;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_association() -> impl Strategy<Value = Association> {
+    (
+        any::<u32>(),
+        any::<u128>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(v4, v6, day, asn, mobile)| Association {
+            v24: Ipv4Prefix::slash24_of(Ipv4Addr::from(v4)),
+            p64: Ipv6Prefix::slash64_of(Ipv6Addr::from(v6)),
+            day,
+            asn: Asn(asn),
+            mobile,
+        })
+}
+
+proptest! {
+    #[test]
+    fn tsv_round_trips_arbitrary_tuples(
+        tuples in proptest::collection::vec(arb_association(), 0..100),
+    ) {
+        let ds = AssociationDataset {
+            raw_count: tuples.len() as u64,
+            tuples,
+            ..Default::default()
+        };
+        let text = to_tsv(&ds);
+        let parsed = from_tsv(&text).unwrap();
+        prop_assert_eq!(parsed.tuples, ds.tuples);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(text in "[ -~\n\t]{0,400}") {
+        let _ = from_tsv(&text);
+    }
+
+    #[test]
+    fn unique_and_mobile_stats_are_consistent(
+        tuples in proptest::collection::vec(arb_association(), 1..100),
+    ) {
+        let ds = AssociationDataset {
+            raw_count: tuples.len() as u64,
+            tuples,
+            ..Default::default()
+        };
+        let uniques = ds.unique_p64_count();
+        prop_assert!(uniques >= 1 && uniques <= ds.len());
+        let frac = ds.mobile_p64_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+    }
+}

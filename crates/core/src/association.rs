@@ -1,0 +1,255 @@
+//! CDN association-duration analysis.
+//!
+//! Section 4.2: "we measure association duration as the period in which an
+//! IPv6 /64 prefix reports the same IPv4 /24 prefix. This duration is
+//! determined by the lifetime of an IPv6 /64 prefix or the appearance of
+//! another IPv4 /24 prefix."
+
+use crate::stats::BoxStats;
+use dynamips_cdn::{Association, AssociationDataset};
+use dynamips_routing::{Asn, Rir};
+use std::collections::HashMap;
+
+/// One association run: a /64 continuously reporting the same /24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssociationRun {
+    /// Origin AS.
+    pub asn: Asn,
+    /// Whether the AS is cellular.
+    pub mobile: bool,
+    /// Run length in days (inclusive of first and last sighting).
+    pub days: u32,
+}
+
+/// Extract association runs from the dataset. Tuples are grouped by /64;
+/// within each /64's day-ordered record stream, a run ends when the /24
+/// changes or the /64 disappears for more than `max_gap_days` (a /64 not
+/// seen for longer is considered gone — its next appearance starts a new
+/// run, matching the "lifetime of an IPv6 /64 prefix" semantics).
+pub fn association_runs(ds: &AssociationDataset, max_gap_days: u32) -> Vec<AssociationRun> {
+    // Group indexes by /64.
+    let mut by_p64: HashMap<u128, Vec<&Association>> = HashMap::new();
+    for t in &ds.tuples {
+        by_p64.entry(t.p64.bits()).or_default().push(t);
+    }
+    let mut runs = Vec::new();
+    for (_, mut tuples) in by_p64 {
+        tuples.sort_by_key(|t| t.day);
+        let mut cur: Option<(u32, u32, &Association)> = None; // (start, last, rep)
+        for t in tuples {
+            match cur {
+                Some((start, last, rep))
+                    if rep.v24 == t.v24 && t.day.saturating_sub(last) <= max_gap_days =>
+                {
+                    cur = Some((start, t.day, rep));
+                }
+                Some((start, last, rep)) => {
+                    runs.push(AssociationRun {
+                        asn: rep.asn,
+                        mobile: rep.mobile,
+                        days: last - start + 1,
+                    });
+                    cur = Some((t.day, t.day, t));
+                    let _ = (start, rep);
+                }
+                None => cur = Some((t.day, t.day, t)),
+            }
+        }
+        if let Some((start, last, rep)) = cur {
+            runs.push(AssociationRun {
+                asn: rep.asn,
+                mobile: rep.mobile,
+                days: last - start + 1,
+            });
+        }
+    }
+    runs
+}
+
+/// Group run durations (days) by AS.
+pub fn durations_by_asn(runs: &[AssociationRun]) -> HashMap<Asn, Vec<f64>> {
+    let mut map: HashMap<Asn, Vec<f64>> = HashMap::new();
+    for r in runs {
+        map.entry(r.asn).or_default().push(r.days as f64);
+    }
+    map
+}
+
+/// Group run durations by (RIR, mobile) using a resolver from ASN to RIR —
+/// the Figure-3 boxplot populations.
+pub fn durations_by_rir_access(
+    runs: &[AssociationRun],
+    rir_of: impl Fn(Asn) -> Option<Rir>,
+) -> HashMap<(Rir, bool), Vec<f64>> {
+    let mut map: HashMap<(Rir, bool), Vec<f64>> = HashMap::new();
+    for r in runs {
+        if let Some(rir) = rir_of(r.asn) {
+            map.entry((rir, r.mobile)).or_default().push(r.days as f64);
+        }
+    }
+    map
+}
+
+/// Box statistics per (RIR, mobile) group plus the global fixed/mobile
+/// aggregates, in Figure 3's panel order.
+pub fn figure3_boxes(
+    runs: &[AssociationRun],
+    rir_of: impl Fn(Asn) -> Option<Rir>,
+) -> Vec<(String, Option<BoxStats>)> {
+    let by_group = durations_by_rir_access(runs, rir_of);
+    let mut out = Vec::new();
+    for mobile in [false, true] {
+        let all: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.mobile == mobile)
+            .map(|r| r.days as f64)
+            .collect();
+        let label = format!("ALL-{}", if mobile { "mobile" } else { "fixed" });
+        out.push((label, BoxStats::from_values(&all)));
+    }
+    for rir in Rir::ALL {
+        for mobile in [false, true] {
+            let label = format!(
+                "{}-{}",
+                rir.label(),
+                if mobile { "mobile" } else { "fixed" }
+            );
+            let values = by_group.get(&(rir, mobile));
+            out.push((label, values.and_then(|v| BoxStats::from_values(v))));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
+
+    fn tuple(v24: &str, p64: &str, day: u32, asn: u32, mobile: bool) -> Association {
+        Association {
+            v24: v24.parse::<Ipv4Prefix>().unwrap(),
+            p64: p64.parse::<Ipv6Prefix>().unwrap(),
+            day,
+            asn: Asn(asn),
+            mobile,
+        }
+    }
+
+    fn ds(tuples: Vec<Association>) -> AssociationDataset {
+        AssociationDataset {
+            raw_count: tuples.len() as u64,
+            tuples,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn continuous_association_is_one_run() {
+        let d = ds((0..30)
+            .map(|day| tuple("84.128.0.0/24", "2003:0:0:1::/64", day, 3320, false))
+            .collect());
+        let runs = association_runs(&d, 3);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].days, 30);
+    }
+
+    #[test]
+    fn v24_change_splits_runs() {
+        let mut tuples: Vec<Association> = (0..10)
+            .map(|day| tuple("84.128.0.0/24", "2003:0:0:1::/64", day, 3320, false))
+            .collect();
+        tuples
+            .extend((10..30).map(|day| tuple("91.3.7.0/24", "2003:0:0:1::/64", day, 3320, false)));
+        let runs = association_runs(&ds(tuples), 3);
+        assert_eq!(runs.len(), 2);
+        let mut days: Vec<u32> = runs.iter().map(|r| r.days).collect();
+        days.sort_unstable();
+        assert_eq!(days, vec![10, 20]);
+    }
+
+    #[test]
+    fn long_disappearance_ends_the_run() {
+        let mut tuples: Vec<Association> = (0..5)
+            .map(|day| tuple("84.128.0.0/24", "2003:0:0:1::/64", day, 3320, false))
+            .collect();
+        // Same /24 but only re-seen 20 days later: the /64 was gone.
+        tuples.push(tuple("84.128.0.0/24", "2003:0:0:1::/64", 25, 3320, false));
+        let runs = association_runs(&ds(tuples), 3);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn short_gaps_are_tolerated() {
+        // Seen on days 0,2,4 (client does not browse daily).
+        let tuples: Vec<Association> = [0u32, 2, 4]
+            .iter()
+            .map(|&day| tuple("84.128.0.0/24", "2003:0:0:1::/64", day, 3320, false))
+            .collect();
+        let runs = association_runs(&ds(tuples), 3);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].days, 5);
+    }
+
+    #[test]
+    fn different_p64s_are_independent() {
+        let tuples = vec![
+            tuple("84.128.0.0/24", "2003:0:0:1::/64", 0, 3320, false),
+            tuple("84.128.0.0/24", "2003:0:0:2::/64", 0, 3320, false),
+        ];
+        let runs = association_runs(&ds(tuples), 3);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn grouping_by_asn_and_rir() {
+        let runs = vec![
+            AssociationRun {
+                asn: Asn(3320),
+                mobile: false,
+                days: 30,
+            },
+            AssociationRun {
+                asn: Asn(3320),
+                mobile: false,
+                days: 10,
+            },
+            AssociationRun {
+                asn: Asn(12576),
+                mobile: true,
+                days: 1,
+            },
+        ];
+        let by_asn = durations_by_asn(&runs);
+        assert_eq!(by_asn[&Asn(3320)].len(), 2);
+
+        let by_group = durations_by_rir_access(&runs, |_| Some(Rir::RipeNcc));
+        assert_eq!(by_group[&(Rir::RipeNcc, false)].len(), 2);
+        assert_eq!(by_group[&(Rir::RipeNcc, true)].len(), 1);
+    }
+
+    #[test]
+    fn figure3_boxes_cover_all_groups() {
+        let runs = vec![
+            AssociationRun {
+                asn: Asn(3320),
+                mobile: false,
+                days: 30,
+            },
+            AssociationRun {
+                asn: Asn(12576),
+                mobile: true,
+                days: 1,
+            },
+        ];
+        let boxes = figure3_boxes(&runs, |_| Some(Rir::RipeNcc));
+        // 2 global + 5 RIRs × 2.
+        assert_eq!(boxes.len(), 12);
+        let all_fixed = &boxes[0];
+        assert_eq!(all_fixed.0, "ALL-fixed");
+        assert_eq!(all_fixed.1.unwrap().p50, 30.0);
+        // ARIN has no samples under this resolver.
+        let arin_fixed = boxes.iter().find(|(l, _)| l == "ARIN-fixed").unwrap();
+        assert!(arin_fixed.1.is_none());
+    }
+}

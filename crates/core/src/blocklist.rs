@@ -1,0 +1,334 @@
+//! Blocklist policy simulation: evasion vs. collateral damage.
+//!
+//! Section 6: reputation systems must pick how long to keep an address on
+//! a blocklist and at what prefix granularity to block. Too long or too
+//! short a prefix and "collateral damage to legitimate users" or evasion
+//! results. This module replays a blocklist policy against ground-truth
+//! subscriber timelines: a designated bad actor is blocked at time `t0`;
+//! we then measure for how long the block still covers the actor (efficacy
+//! until it renumbers away = evasion time) and how many innocent-subscriber
+//! hours the block covers after the actor left (collateral).
+
+use dynamips_netaddr::Ipv6Prefix;
+use dynamips_netsim::{SimTime, SubscriberTimeline};
+
+/// A blocklist policy: block the actor's current /64 widened to
+/// `block_len`, for `ttl_hours`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPolicy {
+    /// Prefix length to block at (≤ 64).
+    pub block_len: u8,
+    /// How long the entry stays on the list.
+    pub ttl_hours: u64,
+}
+
+/// Outcome of replaying one block against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockOutcome {
+    /// The blocked prefix.
+    pub blocked: Ipv6Prefix,
+    /// Hours (within the TTL) during which the actor was still covered by
+    /// the block — the useful lifetime of the entry.
+    pub actor_blocked_hours: u64,
+    /// Hours of the TTL after the actor had already escaped the prefix.
+    pub wasted_hours: u64,
+    /// Innocent-subscriber hours covered by the block (collateral damage).
+    pub collateral_hours: u64,
+    /// Number of distinct innocent subscribers ever covered.
+    pub collateral_subscribers: usize,
+}
+
+impl BlockOutcome {
+    /// Efficacy: fraction of the TTL during which the block was useful.
+    pub fn efficacy(&self) -> f64 {
+        let ttl = self.actor_blocked_hours + self.wasted_hours;
+        if ttl == 0 {
+            0.0
+        } else {
+            self.actor_blocked_hours as f64 / ttl as f64
+        }
+    }
+}
+
+/// Replay `policy` against ground truth: `actor` is blocked at `t0` (using
+/// its /64 at that time); `others` are the network's other subscribers.
+pub fn replay_block(
+    policy: BlockPolicy,
+    actor: &SubscriberTimeline,
+    others: &[&SubscriberTimeline],
+    t0: SimTime,
+) -> Option<BlockOutcome> {
+    let seg = actor.v6_at(t0)?;
+    let blocked = seg.lan64.supernet(policy.block_len.min(64)).ok()?;
+    let end = t0 + policy.ttl_hours;
+
+    let mut actor_blocked_hours = 0u64;
+    let mut h = t0;
+    while h < end {
+        if let Some(s) = actor.v6_at(h) {
+            if blocked.contains_prefix(&s.lan64) {
+                actor_blocked_hours += 1;
+            }
+        }
+        h += 1;
+    }
+
+    let mut collateral_hours = 0u64;
+    let mut collateral_subscribers = 0usize;
+    for other in others {
+        let mut hit = false;
+        let mut h = t0;
+        while h < end {
+            if let Some(s) = other.v6_at(h) {
+                if blocked.contains_prefix(&s.lan64) {
+                    collateral_hours += 1;
+                    hit = true;
+                }
+            }
+            h += 1;
+        }
+        if hit {
+            collateral_subscribers += 1;
+        }
+    }
+
+    Some(BlockOutcome {
+        blocked,
+        actor_blocked_hours,
+        wasted_hours: policy.ttl_hours - actor_blocked_hours,
+        collateral_hours,
+        collateral_subscribers,
+    })
+}
+
+/// Sweep TTLs and block lengths for one actor, returning
+/// `(policy, outcome)` pairs — the tradeoff curve the paper's discussion
+/// implies operators must navigate.
+pub fn sweep_policies(
+    actor: &SubscriberTimeline,
+    others: &[&SubscriberTimeline],
+    t0: SimTime,
+    block_lens: &[u8],
+    ttls: &[u64],
+) -> Vec<(BlockPolicy, BlockOutcome)> {
+    let mut out = Vec::new();
+    for &block_len in block_lens {
+        for &ttl_hours in ttls {
+            let policy = BlockPolicy {
+                block_len,
+                ttl_hours,
+            };
+            if let Some(outcome) = replay_block(policy, actor, others, t0) {
+                out.push((policy, outcome));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamips_netsim::timeline::{SubscriberId, V6Segment};
+    use dynamips_routing::Asn;
+
+    fn sub(index: u32, segs: Vec<(u64, u64, &str, &str)>) -> SubscriberTimeline {
+        SubscriberTimeline {
+            id: SubscriberId { asn: Asn(1), index },
+            dual_stack: true,
+            device_iid: index as u64,
+            v4: vec![],
+            v6: segs
+                .into_iter()
+                .map(|(a, b, d, l)| V6Segment {
+                    start: SimTime(a),
+                    end: SimTime(b),
+                    delegated: d.parse().unwrap(),
+                    lan64: l.parse().unwrap(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stable_actor_stays_blocked_whole_ttl() {
+        let actor = sub(
+            0,
+            vec![(0, 1000, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64")],
+        );
+        let out = replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 100,
+            },
+            &actor,
+            &[],
+            SimTime(10),
+        )
+        .unwrap();
+        assert_eq!(out.actor_blocked_hours, 100);
+        assert_eq!(out.wasted_hours, 0);
+        assert_eq!(out.efficacy(), 1.0);
+        assert_eq!(out.collateral_subscribers, 0);
+    }
+
+    #[test]
+    fn renumbering_actor_escapes() {
+        // The actor renumbers to a different /56 at hour 24.
+        let actor = sub(
+            0,
+            vec![
+                (0, 24, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64"),
+                (24, 1000, "2001:db8:0:bb00::/56", "2001:db8:0:bb00::/64"),
+            ],
+        );
+        let out = replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 96,
+            },
+            &actor,
+            &[],
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(out.actor_blocked_hours, 24);
+        assert_eq!(out.wasted_hours, 72);
+        assert!((out.efficacy() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_specific_block_is_evaded_by_scrambling_cpe() {
+        // The actor's CPE rotates /64s within its stable /56 delegation.
+        let actor = sub(
+            0,
+            vec![
+                (0, 24, "2001:db8:0:aa00::/56", "2001:db8:0:aa17::/64"),
+                (24, 1000, "2001:db8:0:aa00::/56", "2001:db8:0:aae9::/64"),
+            ],
+        );
+        let narrow = replay_block(
+            BlockPolicy {
+                block_len: 64,
+                ttl_hours: 96,
+            },
+            &actor,
+            &[],
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(narrow.actor_blocked_hours, 24, "/64 block evaded");
+        let wide = replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 96,
+            },
+            &actor,
+            &[],
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(wide.actor_blocked_hours, 96, "/56 block holds");
+    }
+
+    #[test]
+    fn too_wide_block_catches_innocents() {
+        let actor = sub(
+            0,
+            vec![(0, 1000, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64")],
+        );
+        let neighbor = sub(
+            1,
+            vec![(0, 1000, "2001:db8:0:bb00::/56", "2001:db8:0:bb00::/64")],
+        );
+        let outsider = sub(
+            2,
+            vec![(0, 1000, "2001:db8:77:cc00::/56", "2001:db8:77:cc00::/64")],
+        );
+        let others = [&neighbor, &outsider];
+        // /48 block: neighbor (same /48) is collateral, outsider is not.
+        let out = replay_block(
+            BlockPolicy {
+                block_len: 48,
+                ttl_hours: 50,
+            },
+            &actor,
+            &others,
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(out.collateral_subscribers, 1);
+        assert_eq!(out.collateral_hours, 50);
+        // /56 block: no collateral.
+        let out = replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 50,
+            },
+            &actor,
+            &others,
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(out.collateral_subscribers, 0);
+    }
+
+    #[test]
+    fn address_reuse_creates_collateral_over_time() {
+        // The actor leaves its /56 at hour 10; an innocent subscriber is
+        // assigned into the same /56 at hour 20 (pool reuse).
+        let actor = sub(
+            0,
+            vec![
+                (0, 10, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64"),
+                (10, 1000, "2001:db8:0:ff00::/56", "2001:db8:0:ff00::/64"),
+            ],
+        );
+        let unlucky = sub(
+            1,
+            vec![
+                (0, 20, "2001:db8:0:1100::/56", "2001:db8:0:1100::/64"),
+                (20, 1000, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64"),
+            ],
+        );
+        let others = [&unlucky];
+        let out = replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 100,
+            },
+            &actor,
+            &others,
+            SimTime(0),
+        )
+        .unwrap();
+        assert_eq!(out.actor_blocked_hours, 10);
+        assert_eq!(out.collateral_subscribers, 1);
+        assert_eq!(out.collateral_hours, 80, "hours 20..100");
+    }
+
+    #[test]
+    fn sweep_produces_the_tradeoff_grid() {
+        let actor = sub(
+            0,
+            vec![(0, 1000, "2001:db8:0:aa00::/56", "2001:db8:0:aa00::/64")],
+        );
+        let grid = sweep_policies(&actor, &[], SimTime(0), &[48, 56, 64], &[24, 96]);
+        assert_eq!(grid.len(), 6);
+    }
+
+    #[test]
+    fn offline_actor_yields_none() {
+        let actor = sub(0, vec![(100, 200, "2001:db8::/56", "2001:db8::/64")]);
+        assert!(replay_block(
+            BlockPolicy {
+                block_len: 56,
+                ttl_hours: 10
+            },
+            &actor,
+            &[],
+            SimTime(0)
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! The total-time-fraction metric and periodic-renumbering detection.
+//!
+//! Section 3.2.1: naive distributions over raw durations overrepresent
+//! hosts with short durations, so the paper weights each duration `d` by
+//! `n(d) × d / Σ(D)` (Eq. 1) — the probability of catching a CPE holding a
+//! duration-`d` assignment when observing a random CPE at a random time.
+
+use crate::stats::weighted_cdf_at;
+use dynamips_netsim::{DAY, WEEK, YEAR};
+use std::collections::HashMap;
+
+/// Canonical duration marks used on the paper's Figure-1 x axis.
+pub const DURATION_MARKS: [(&str, u64); 12] = [
+    ("1h", 1),
+    ("6h", 6),
+    ("12h", 12),
+    ("1d", DAY),
+    ("3d", 3 * DAY),
+    ("1w", WEEK),
+    ("2w", 2 * WEEK),
+    ("1m", 30 * DAY),
+    ("3m", 91 * DAY),
+    ("6m", 182 * DAY),
+    ("1y", YEAR),
+    ("4y", 4 * YEAR),
+];
+
+/// A multiset of assignment durations (hours) from one population (e.g. all
+/// dual-stack IPv4 durations of one AS).
+///
+/// ```
+/// use dynamips_core::durations::DurationSet;
+///
+/// // The paper's Eq.-1 example: a daily renumberer and a monthly one,
+/// // observed for a year. A naive PMF would put 97% of durations at one
+/// // day; weighted by time, the one-day mass is ~50%.
+/// let mut set = DurationSet::new();
+/// set.extend(std::iter::repeat(24).take(365));
+/// set.extend(std::iter::repeat(30 * 24).take(12));
+/// assert!((set.total_time_fraction(24) - 365.0 / 725.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DurationSet {
+    durations: Vec<u64>,
+}
+
+impl DurationSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one duration.
+    pub fn push(&mut self, hours: u64) {
+        self.durations.push(hours);
+    }
+
+    /// Add many durations.
+    pub fn extend(&mut self, hours: impl IntoIterator<Item = u64>) {
+        self.durations.extend(hours);
+    }
+
+    /// Number of durations.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Total observed assignment time, hours (the paper annotates Figure 1
+    /// with this, in years).
+    pub fn total_hours(&self) -> u64 {
+        self.durations.iter().sum()
+    }
+
+    /// Raw durations.
+    pub fn raw(&self) -> &[u64] {
+        &self.durations
+    }
+
+    /// The total time fraction of Eq. 1 for one duration value `d`:
+    /// `n(d) × d / Σ(D)`.
+    pub fn total_time_fraction(&self, d: u64) -> f64 {
+        let total: u64 = self.total_hours();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self.durations.iter().filter(|&&x| x == d).count() as u64;
+        (n * d) as f64 / total as f64
+    }
+
+    /// The cumulative total time fraction evaluated at `thresholds`
+    /// (Figure 1's y axis, "Fraction of total address-duration").
+    pub fn cumulative_ttf_at(&self, thresholds: &[u64]) -> Vec<f64> {
+        let weighted: Vec<(f64, f64)> = self
+            .durations
+            .iter()
+            .map(|&d| (d as f64, d as f64))
+            .collect();
+        let t: Vec<f64> = thresholds.iter().map(|&t| t as f64).collect();
+        weighted_cdf_at(&weighted, &t)
+    }
+
+    /// Cumulative total time fraction at the canonical Figure-1 marks.
+    pub fn cumulative_ttf_marks(&self) -> Vec<(&'static str, f64)> {
+        let thresholds: Vec<u64> = DURATION_MARKS.iter().map(|(_, h)| *h).collect();
+        DURATION_MARKS
+            .iter()
+            .map(|(label, _)| *label)
+            .zip(self.cumulative_ttf_at(&thresholds))
+            .collect()
+    }
+}
+
+/// A detected periodic renumbering pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicPattern {
+    /// Detected period, hours.
+    pub period_hours: u64,
+    /// Fraction of all durations falling within the detection tolerance of
+    /// the period.
+    pub duration_fraction: f64,
+    /// Fraction of total assignment *time* explained by the period.
+    pub time_fraction: f64,
+}
+
+/// Detect consistent periodic renumbering: a duration value (± `tolerance`
+/// relative) that accounts for at least `min_fraction` of all sandwiched
+/// durations. Returns the strongest such period.
+///
+/// This is how the paper's claims like "periodic renumbering after 24 hours
+/// in DTAG" or "we observe evidence of consistent periodic renumbering on 35
+/// networks" are operationalized.
+pub fn detect_period(
+    set: &DurationSet,
+    tolerance: f64,
+    min_fraction: f64,
+) -> Option<PeriodicPattern> {
+    if set.len() < 10 {
+        return None; // too few samples to call anything "consistent"
+    }
+    // Count durations per exact hour value, then look for the hour whose
+    // tolerance window captures the most durations.
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &d in set.raw() {
+        *counts.entry(d).or_insert(0) += 1;
+    }
+    let mut candidates: Vec<u64> = counts.keys().copied().collect();
+    candidates.sort_unstable();
+
+    let mut best: Option<PeriodicPattern> = None;
+    for &p in &candidates {
+        let lo = ((p as f64) * (1.0 - tolerance)).floor() as u64;
+        let hi = ((p as f64) * (1.0 + tolerance)).ceil() as u64;
+        let in_window: usize = set.raw().iter().filter(|&&d| d >= lo && d <= hi).count();
+        let frac = in_window as f64 / set.len() as f64;
+        if frac >= min_fraction {
+            let time_in_window: u64 = set.raw().iter().filter(|&&d| d >= lo && d <= hi).sum();
+            let pat = PeriodicPattern {
+                period_hours: p,
+                duration_fraction: frac,
+                time_fraction: time_in_window as f64 / set.total_hours().max(1) as f64,
+            };
+            if best.map(|b| frac > b.duration_fraction).unwrap_or(true) {
+                best = Some(pat);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(durations: &[u64]) -> DurationSet {
+        let mut s = DurationSet::new();
+        s.extend(durations.iter().copied());
+        s
+    }
+
+    #[test]
+    fn ttf_weights_by_time_not_count() {
+        // The paper's own example: CPE1 has 365 one-day durations, CPE2 has
+        // 12 thirty-day durations. A naive PMF would say 97% of durations
+        // are one day; the TTF says the one-day mass is 365/725 = 50.3%.
+        let mut s = DurationSet::new();
+        s.extend(std::iter::repeat_n(24, 365));
+        s.extend(std::iter::repeat_n(30 * 24, 12));
+        let f1d = s.total_time_fraction(24);
+        assert!((f1d - 365.0 / 725.0).abs() < 1e-9, "{f1d}");
+        let f30d = s.total_time_fraction(30 * 24);
+        assert!((f30d - 360.0 / 725.0).abs() < 1e-9, "{f30d}");
+        // Fractions over all distinct values sum to 1.
+        assert!((f1d + f30d - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_ttf_is_monotone_and_ends_at_one() {
+        let s = set(&[1, 24, 24, 24, 700, 9000]);
+        let marks = s.cumulative_ttf_marks();
+        let values: Vec<f64> = marks.iter().map(|(_, v)| *v).collect();
+        for w in values.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "monotone: {values:?}");
+        }
+        assert!((values.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_ttf_at_exact_mode() {
+        // All durations exactly one day: everything at or past the 1d mark.
+        let s = set(&[24; 50]);
+        let c = s.cumulative_ttf_at(&[23, 24, 25]);
+        assert_eq!(c, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_set_is_safe() {
+        let s = DurationSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_time_fraction(24), 0.0);
+        assert_eq!(s.cumulative_ttf_at(&[24]), vec![0.0]);
+        assert!(detect_period(&s, 0.05, 0.5).is_none());
+    }
+
+    #[test]
+    fn detects_exact_24h_period() {
+        let s = set(&[24; 100]);
+        let p = detect_period(&s, 0.05, 0.5).unwrap();
+        assert_eq!(p.period_hours, 24);
+        assert!((p.duration_fraction - 1.0).abs() < 1e-12);
+        assert!((p.time_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_jittered_period() {
+        // 24h ± 1h jitter.
+        let mut s = DurationSet::new();
+        for i in 0..120u64 {
+            s.push(23 + (i % 3));
+        }
+        let p = detect_period(&s, 0.05, 0.8).unwrap();
+        assert!((23..=25).contains(&p.period_hours), "{p:?}");
+        assert!(p.duration_fraction > 0.99);
+    }
+
+    #[test]
+    fn no_false_period_on_spread_durations() {
+        // Durations spread geometrically: no single mode.
+        let s = set(&[
+            10, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120, 30, 60, 90, 200, 400,
+        ]);
+        assert!(detect_period(&s, 0.05, 0.5).is_none());
+    }
+
+    #[test]
+    fn mixed_population_period_needs_enough_mass() {
+        // 30% at 24h, the rest spread out: threshold 0.5 rejects, 0.25
+        // accepts.
+        let mut s = DurationSet::new();
+        s.extend(std::iter::repeat_n(24, 30));
+        s.extend((1..71).map(|i| 100 + i * 37));
+        assert!(detect_period(&s, 0.05, 0.5).is_none());
+        let p = detect_period(&s, 0.05, 0.25).unwrap();
+        assert_eq!(p.period_hours, 24);
+    }
+
+    #[test]
+    fn total_hours_annotation() {
+        let s = set(&[24, 48]);
+        assert_eq!(s.total_hours(), 72);
+    }
+}

@@ -1,0 +1,230 @@
+//! Pool-boundary inference.
+//!
+//! Section 5.2 concludes that "for many ISPs, a /40 emerges as a common
+//! size for dynamic address pools", by observing (Figure 8) that probes see
+//! many distinct /48s but only a handful of /40s over their lifetimes. This
+//! module turns that observation into an estimator: the pool grain is the
+//! *longest* prefix length at which a churning subscriber still only ever
+//! sees a few unique prefixes.
+//!
+//! A probe is *informative* at parameter `max_pools = K` when it has seen
+//! at least `2K` distinct /64s (otherwise "few unique L-prefixes" is
+//! trivially true for every L); it is *contained* at length `L` when its
+//! unique `L`-prefix count is at most `K` — a handful of pools, allowing
+//! for the occasional administrative move across pools the paper also
+//! observes — *and* that count is scale-stable: shortening the length by
+//! two bits must not merge pools (`unique(L) == unique(L-2)`). Without the
+//! stability condition, a probe drawing many assignments from one /40
+//! also has "few" unique /41s and /42s (they double per bit until they hit
+//! `K`), which would bias the estimate long.
+
+use crate::changes::ProbeHistory;
+use std::collections::HashSet;
+
+/// Unique supernets of the probe's /64s at length `len`.
+fn unique_at(history: &ProbeHistory, len: u8) -> usize {
+    history
+        .v6
+        .iter()
+        .map(|s| s.value.supernet(len).expect("len <= 64").bits())
+        .collect::<HashSet<u128>>()
+        .len()
+}
+
+/// Per-probe containment test; `None` if the probe is uninformative.
+fn probe_contained(history: &ProbeHistory, len: u8, max_pools: usize) -> Option<bool> {
+    if unique_at(history, 64) < 2 * max_pools {
+        return None;
+    }
+    let at = unique_at(history, len);
+    Some(at <= max_pools && at == unique_at(history, len.saturating_sub(2)))
+}
+
+/// Result of a pool-boundary estimation over a probe population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolBoundary {
+    /// The inferred pool prefix length.
+    pub pool_len: u8,
+    /// Fraction of informative probes contained at that length.
+    pub containment: f64,
+    /// Informative probes that contributed.
+    pub probes: usize,
+    /// Per-candidate-length containment fractions, for inspection.
+    pub profile: Vec<(u8, f64)>,
+}
+
+/// Estimate the pool grain of one AS from its probes' histories.
+///
+/// `candidates` are the prefix lengths to test (e.g. `16..=56`);
+/// `max_pools` is how many distinct pools a subscriber may plausibly touch
+/// over the observation window (admin renumbering; the paper sees "less
+/// than five unique /40 prefixes"); `min_containment` is the fraction of
+/// informative probes required to accept a length.
+pub fn infer_pool_boundary(
+    histories: &[&ProbeHistory],
+    candidates: impl Iterator<Item = u8>,
+    max_pools: usize,
+    min_containment: f64,
+) -> Option<PoolBoundary> {
+    let mut profile: Vec<(u8, f64)> = Vec::new();
+    let mut informative = 0usize;
+    for len in candidates {
+        let mut contained = 0usize;
+        let mut total = 0usize;
+        for h in histories {
+            if let Some(ok) = probe_contained(h, len, max_pools) {
+                total += 1;
+                if ok {
+                    contained += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        informative = total;
+        profile.push((len, contained as f64 / total as f64));
+    }
+    profile.sort_by_key(|(len, _)| *len);
+    // The longest candidate still containing enough probes.
+    let best = profile
+        .iter()
+        .rev()
+        .find(|(_, frac)| *frac >= min_containment)?;
+    Some(PoolBoundary {
+        pool_len: best.0,
+        containment: best.1,
+        probes: informative,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::Span;
+    use dynamips_atlas::ProbeId;
+    use dynamips_netaddr::{Ipv6Prefix, Ipv6PrefixPool};
+    use dynamips_netsim::rngutil::derive_rng;
+    use dynamips_netsim::SimTime;
+    use dynamips_routing::Asn;
+    use rand::Rng;
+
+    /// Build a probe that draws `n` random /64s out of one /40 pool.
+    fn probe_in_pool(seed: u64, pool: &str, n: usize) -> ProbeHistory {
+        let mut rng = derive_rng(seed, 77);
+        let pool = Ipv6PrefixPool::new(pool.parse().unwrap(), 56).unwrap();
+        let v6: Vec<Span<Ipv6Prefix>> = (0..n)
+            .map(|i| {
+                let deleg = pool.prefix(rng.gen_range(0..pool.capacity())).unwrap();
+                Span {
+                    value: deleg.nth_subprefix(64, 0).unwrap(),
+                    first: SimTime(i as u64 * 24),
+                    last: SimTime(i as u64 * 24 + 23),
+                }
+            })
+            .collect();
+        ProbeHistory {
+            probe: ProbeId(seed as u32),
+            virtual_index: 0,
+            asn: Asn(64500),
+            v4: vec![],
+            v6,
+        }
+    }
+
+    #[test]
+    fn recovers_the_slash40_pool_grain() {
+        // 30 probes, each pinned to one of three /40 pools.
+        let pools = [
+            "2001:db8:1000::/40",
+            "2001:db8:a000::/40",
+            "2001:db8:ee00::/40",
+        ];
+        let histories: Vec<ProbeHistory> = (0..30u64)
+            .map(|i| probe_in_pool(i, pools[(i % 3) as usize], 40))
+            .collect();
+        let refs: Vec<&ProbeHistory> = histories.iter().collect();
+        let b = infer_pool_boundary(&refs, 16..=56, 4, 0.9).expect("boundary found");
+        assert_eq!(b.pool_len, 40, "{:?}", b.profile);
+        assert!(b.containment >= 0.95);
+        assert_eq!(b.probes, 30);
+    }
+
+    #[test]
+    fn tolerates_administrative_pool_moves() {
+        // Probes split their lifetime between two /40 pools (one admin
+        // renumbering event): the /40 grain must still be recovered.
+        let histories: Vec<ProbeHistory> = (0..20u64)
+            .map(|i| {
+                let mut h = probe_in_pool(i, "2001:db8:1000::/40", 30);
+                let second = probe_in_pool(1000 + i, "2001:db8:a000::/40", 20);
+                h.v6.extend(second.v6);
+                h
+            })
+            .collect();
+        let refs: Vec<&ProbeHistory> = histories.iter().collect();
+        let b = infer_pool_boundary(&refs, 16..=56, 4, 0.9).expect("boundary found");
+        assert_eq!(b.pool_len, 40, "{:?}", b.profile);
+    }
+
+    #[test]
+    fn stable_probes_are_uninformative() {
+        // A couple of observations per probe: "few unique prefixes" would
+        // hold at any length, so such probes must not vote.
+        let histories: Vec<ProbeHistory> = (0..5u64)
+            .map(|i| probe_in_pool(i, "2001:db8:1000::/40", 2))
+            .collect();
+        let refs: Vec<&ProbeHistory> = histories.iter().collect();
+        assert!(infer_pool_boundary(&refs, 16..=56, 4, 0.9).is_none());
+    }
+
+    #[test]
+    fn fragmented_assignments_push_boundary_shorter() {
+        // Probes roaming across the whole /32: the best containment length
+        // is near /32, not /40.
+        let histories: Vec<ProbeHistory> = (0..10u64)
+            .map(|seed| {
+                let mut rng = derive_rng(seed, 5);
+                let agg = Ipv6PrefixPool::new("2001:db8::/32".parse().unwrap(), 56).unwrap();
+                let v6: Vec<Span<Ipv6Prefix>> = (0..60)
+                    .map(|i| Span {
+                        value: agg
+                            .prefix(rng.gen_range(0..1 << 24))
+                            .unwrap()
+                            .nth_subprefix(64, 0)
+                            .unwrap(),
+                        first: SimTime(i as u64 * 24),
+                        last: SimTime(i as u64 * 24 + 23),
+                    })
+                    .collect();
+                ProbeHistory {
+                    probe: ProbeId(seed as u32),
+                    virtual_index: 0,
+                    asn: Asn(64500),
+                    v4: vec![],
+                    v6,
+                }
+            })
+            .collect();
+        let refs: Vec<&ProbeHistory> = histories.iter().collect();
+        let b = infer_pool_boundary(&refs, 16..=56, 4, 0.9).expect("boundary found");
+        assert!(b.pool_len <= 33, "{:?}", b.pool_len);
+    }
+
+    #[test]
+    fn profile_is_monotone_non_increasing() {
+        let histories: Vec<ProbeHistory> = (0..10u64)
+            .map(|i| probe_in_pool(i, "2001:db8:1000::/40", 30))
+            .collect();
+        let refs: Vec<&ProbeHistory> = histories.iter().collect();
+        let b = infer_pool_boundary(&refs, 16..=56, 4, 0.5).unwrap();
+        for w in b.profile.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "containment cannot grow with length: {:?}",
+                b.profile
+            );
+        }
+    }
+}

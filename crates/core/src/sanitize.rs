@@ -1,0 +1,450 @@
+//! The Appendix-A.1 sanitization pipeline.
+//!
+//! Raw probe series contain deployment artifacts that would masquerade as
+//! assignment dynamics. In order, this pipeline:
+//!
+//! 1. drops echo records reporting the RIPE test address `193.0.0.78`;
+//! 2. drops probes carrying non-residential tags (`datacentre`, `core`,
+//!    `system-anchor`, explicit `multihomed`);
+//! 3. drops probes with atypical NAT setups (public IPv4 `src_addr`, or
+//!    IPv6 `X-Client-IP` ≠ `src_addr`);
+//! 4. detects multihoming by looking for alternation — reported values
+//!    returning to a recently seen address/prefix — and drops such probes;
+//! 5. splits probes that moved between ASes into per-AS "virtual probes";
+//! 6. drops (virtual) probes observed for less than a month, and keeps only
+//!    those observed within a single AS.
+
+use crate::changes::{histories_from_records, spans_of, ProbeHistory, Span};
+use dynamips_atlas::{ProbeSeries, TEST_ADDRESS};
+use dynamips_netaddr::Ipv6Prefix;
+use dynamips_netsim::SimTime;
+use dynamips_routing::{Asn, RoutingTable};
+
+/// Sanitizer thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct SanitizeConfig {
+    /// Minimum observation span for a (virtual) probe, hours. The paper
+    /// uses one month.
+    pub min_observed_hours: u64,
+    /// Number of returns-to-a-recent-value before a probe is declared
+    /// multihomed.
+    pub multihoming_revisit_threshold: usize,
+    /// How many distinct recent values to remember when looking for
+    /// alternation.
+    pub multihoming_memory: usize,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        SanitizeConfig {
+            min_observed_hours: 30 * 24,
+            multihoming_revisit_threshold: 3,
+            multihoming_memory: 2,
+        }
+    }
+}
+
+/// Why a probe (or all of it) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// Non-residential or explicitly multihomed tag.
+    BadTag,
+    /// Public IPv4 `src_addr` or mismatched IPv6 `src_addr`.
+    AtypicalNat,
+    /// Alternating addresses/prefixes.
+    Multihomed,
+    /// Too little observation time in any single AS.
+    TooShort,
+    /// No routable observations at all.
+    NoData,
+}
+
+/// Per-filter accounting, mirroring the Appendix's bookkeeping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Probes seen.
+    pub probes_in: usize,
+    /// Test-address records removed.
+    pub test_address_records: usize,
+    /// Probes dropped for bad tags.
+    pub bad_tag: usize,
+    /// Probes dropped for atypical NAT.
+    pub atypical_nat: usize,
+    /// Probes dropped as multihomed.
+    pub multihomed: usize,
+    /// Probes that produced more than one virtual probe (ISP switches).
+    pub split_probes: usize,
+    /// Virtual probes dropped for insufficient observation.
+    pub too_short: usize,
+    /// Clean (virtual) probes emitted.
+    pub probes_out: usize,
+}
+
+/// Outcome of sanitizing one probe.
+#[derive(Debug, Clone)]
+pub enum SanitizeOutcome {
+    /// Clean histories (one per virtual probe).
+    Clean(Vec<ProbeHistory>),
+    /// The probe was rejected outright.
+    Rejected(RejectReason),
+}
+
+/// Tags that mark non-residential deployments (Appendix A.1).
+const BAD_TAGS: [&str; 4] = ["multihomed", "datacentre", "core", "system-anchor"];
+
+/// Run the pipeline on one probe. `report` is updated with per-filter
+/// accounting.
+pub fn sanitize_probe(
+    series: &ProbeSeries,
+    routing: &RoutingTable,
+    cfg: &SanitizeConfig,
+    report: &mut SanitizeReport,
+) -> SanitizeOutcome {
+    report.probes_in += 1;
+
+    // (2) tags
+    if series.tags.iter().any(|t| BAD_TAGS.contains(&t.as_str())) {
+        report.bad_tag += 1;
+        return SanitizeOutcome::Rejected(RejectReason::BadTag);
+    }
+
+    // (1) test-address records
+    let v4: Vec<_> = series
+        .v4
+        .iter()
+        .filter(|r| {
+            if r.client == TEST_ADDRESS {
+                report.test_address_records += 1;
+                false
+            } else {
+                true
+            }
+        })
+        .copied()
+        .collect();
+
+    // (3) atypical NAT
+    let v4_public_src = v4.iter().any(|r| !r.src.is_private());
+    let v6_mismatched = series.v6.iter().any(|r| r.src != r.client);
+    if v4_public_src || v6_mismatched {
+        report.atypical_nat += 1;
+        return SanitizeOutcome::Rejected(RejectReason::AtypicalNat);
+    }
+
+    // (4) multihoming: alternation in either family.
+    let (v4_spans, v6_spans) = histories_from_records(&v4, &series.v6);
+    if is_alternating(&v4_spans, cfg) || is_alternating(&v6_spans, cfg) {
+        report.multihomed += 1;
+        return SanitizeOutcome::Rejected(RejectReason::Multihomed);
+    }
+
+    // (5) split by AS runs.
+    let histories = split_by_as(series.probe, &v4, &series.v6, routing);
+    if histories.is_empty() {
+        report.too_short += 1;
+        return SanitizeOutcome::Rejected(RejectReason::NoData);
+    }
+    if histories.len() > 1 {
+        report.split_probes += 1;
+    }
+
+    // (6) minimum observation per virtual probe.
+    let kept: Vec<ProbeHistory> = histories
+        .into_iter()
+        .filter(|h| {
+            if h.observed_hours() >= cfg.min_observed_hours {
+                true
+            } else {
+                report.too_short += 1;
+                false
+            }
+        })
+        .collect();
+
+    if kept.is_empty() {
+        return SanitizeOutcome::Rejected(RejectReason::TooShort);
+    }
+    report.probes_out += kept.len();
+    SanitizeOutcome::Clean(kept)
+}
+
+/// Multihoming heuristic: count spans whose value re-appears among the
+/// previous `memory` distinct span values (the A-B-A-B signature).
+fn is_alternating<T: PartialEq + Copy>(spans: &[Span<T>], cfg: &SanitizeConfig) -> bool {
+    let mut revisits = 0usize;
+    for (i, span) in spans.iter().enumerate() {
+        let lo = i.saturating_sub(cfg.multihoming_memory);
+        if spans[lo..i].iter().any(|p| p.value == span.value) {
+            revisits += 1;
+            if revisits >= cfg.multihoming_revisit_threshold {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Assign each observation to its origin AS and split the series into
+/// contiguous per-AS runs. Observations that are not routed at all are
+/// discarded (they cannot be attributed to a network).
+fn split_by_as(
+    probe: dynamips_atlas::ProbeId,
+    v4: &[dynamips_atlas::EchoV4],
+    v6: &[dynamips_atlas::EchoV6],
+    routing: &RoutingTable,
+) -> Vec<ProbeHistory> {
+    // Merge both families into one AS-over-time view to find run
+    // boundaries.
+    let mut as_obs: Vec<(SimTime, Asn)> = Vec::new();
+    for r in v4 {
+        if let Some(asn) = routing.origin_v4(r.client) {
+            as_obs.push((r.time, asn));
+        }
+    }
+    for r in v6 {
+        if let Some((_, asn)) = routing.route_v6_prefix(&Ipv6Prefix::slash64_of(r.client)) {
+            as_obs.push((r.time, asn));
+        }
+    }
+    as_obs.sort_by_key(|(t, _)| *t);
+    let as_runs = spans_of(as_obs.into_iter());
+
+    as_runs
+        .iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let lo = run.first;
+            let hi = run.last;
+            let v4_spans = spans_of(
+                v4.iter()
+                    .filter(|r| r.time >= lo && r.time <= hi)
+                    .filter(|r| routing.origin_v4(r.client) == Some(run.value))
+                    .map(|r| (r.time, r.client)),
+            );
+            let v6_spans = spans_of(
+                v6.iter()
+                    .filter(|r| r.time >= lo && r.time <= hi)
+                    .map(|r| (r.time, Ipv6Prefix::slash64_of(r.client)))
+                    .filter(|(_, p)| routing.route_v6_prefix(p).map(|(_, a)| a) == Some(run.value)),
+            );
+            ProbeHistory {
+                probe,
+                virtual_index: i as u8,
+                asn: run.value,
+                v4: v4_spans,
+                v6: v6_spans,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamips_atlas::{EchoV4, EchoV6, ProbeId};
+    use std::net::{Ipv4Addr, Ipv6Addr};
+
+    fn routing() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce_v4("84.0.0.0/8".parse().unwrap(), Asn(3320));
+        t.announce_v4("98.0.0.0/8".parse().unwrap(), Asn(7922));
+        t.announce_v6("2003::/19".parse().unwrap(), Asn(3320));
+        t.announce_v6("2601::/20".parse().unwrap(), Asn(7922));
+        t
+    }
+
+    fn v4rec(hour: u64, client: &str) -> EchoV4 {
+        EchoV4 {
+            time: SimTime(hour),
+            client: client.parse().unwrap(),
+            src: Ipv4Addr::new(192, 168, 1, 7),
+        }
+    }
+
+    fn v6rec(hour: u64, client: &str) -> EchoV6 {
+        let c: Ipv6Addr = client.parse().unwrap();
+        EchoV6 {
+            time: SimTime(hour),
+            client: c,
+            src: c,
+        }
+    }
+
+    fn hourly_v4(hours: std::ops::Range<u64>, client: &str) -> Vec<EchoV4> {
+        hours.map(|h| v4rec(h, client)).collect()
+    }
+
+    fn series(v4: Vec<EchoV4>, v6: Vec<EchoV6>) -> ProbeSeries {
+        ProbeSeries {
+            probe: ProbeId(1),
+            asn: Asn(3320),
+            tags: vec![],
+            v4,
+            v6,
+        }
+    }
+
+    fn run(s: &ProbeSeries) -> (SanitizeOutcome, SanitizeReport) {
+        let mut report = SanitizeReport::default();
+        let out = sanitize_probe(s, &routing(), &SanitizeConfig::default(), &mut report);
+        (out, report)
+    }
+
+    #[test]
+    fn clean_long_probe_passes() {
+        let mut v4 = hourly_v4(0..800, "84.1.1.1");
+        v4.extend(hourly_v4(800..1600, "84.1.2.2"));
+        let s = series(v4, (0..1600).map(|h| v6rec(h, "2003:0:0:1::5")).collect());
+        let (out, report) = run(&s);
+        match out {
+            SanitizeOutcome::Clean(hist) => {
+                assert_eq!(hist.len(), 1);
+                assert_eq!(hist[0].asn, Asn(3320));
+                assert_eq!(hist[0].v4.len(), 2);
+                assert_eq!(hist[0].v6.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(report.probes_out, 1);
+    }
+
+    #[test]
+    fn test_address_records_are_stripped_not_fatal() {
+        let mut v4 = vec![v4rec(0, "193.0.0.78"), v4rec(1, "193.0.0.78")];
+        v4.extend(hourly_v4(2..800, "84.1.1.1"));
+        let s = series(v4, vec![]);
+        let (out, report) = run(&s);
+        assert!(matches!(out, SanitizeOutcome::Clean(_)));
+        assert_eq!(report.test_address_records, 2);
+        if let SanitizeOutcome::Clean(h) = out {
+            // The test address must not appear as an assignment.
+            assert_eq!(h[0].v4.len(), 1);
+            assert_eq!(h[0].v4[0].value, "84.1.1.1".parse::<Ipv4Addr>().unwrap());
+        }
+    }
+
+    #[test]
+    fn bad_tags_reject() {
+        let mut s = series(hourly_v4(0..800, "84.1.1.1"), vec![]);
+        s.tags = vec!["datacentre".into()];
+        let (out, report) = run(&s);
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::BadTag)
+        ));
+        assert_eq!(report.bad_tag, 1);
+    }
+
+    #[test]
+    fn public_v4_src_rejects() {
+        let mut v4 = hourly_v4(0..800, "84.1.1.1");
+        for r in v4.iter_mut() {
+            r.src = r.client;
+        }
+        let (out, report) = run(&series(v4, vec![]));
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::AtypicalNat)
+        ));
+        assert_eq!(report.atypical_nat, 1);
+    }
+
+    #[test]
+    fn mismatched_v6_src_rejects() {
+        let mut v6: Vec<EchoV6> = (0..800).map(|h| v6rec(h, "2003:0:0:1::5")).collect();
+        for r in v6.iter_mut() {
+            r.src = "2003::dead".parse().unwrap();
+        }
+        let (out, _) = run(&series(hourly_v4(0..800, "84.1.1.1"), v6));
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::AtypicalNat)
+        ));
+    }
+
+    #[test]
+    fn alternating_addresses_reject_as_multihomed() {
+        // A-B-A-B-A-B hourly alternation.
+        let v4: Vec<EchoV4> = (0..1600)
+            .map(|h| v4rec(h, if h % 2 == 0 { "84.1.1.1" } else { "84.9.9.9" }))
+            .collect();
+        let (out, report) = run(&series(v4, vec![]));
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::Multihomed)
+        ));
+        assert_eq!(report.multihomed, 1);
+    }
+
+    #[test]
+    fn ordinary_renumbering_is_not_multihoming() {
+        // Monotone progression through distinct addresses never revisits.
+        let mut v4 = Vec::new();
+        for day in 0..40u64 {
+            for h in 0..24 {
+                v4.push(v4rec(
+                    day * 24 + h,
+                    &format!("84.1.{}.{}", day / 200 + 1, day % 200 + 1),
+                ));
+            }
+        }
+        let (out, _) = run(&series(v4, vec![]));
+        assert!(matches!(out, SanitizeOutcome::Clean(_)));
+    }
+
+    #[test]
+    fn as_move_splits_into_virtual_probes() {
+        let mut v4 = hourly_v4(0..1200, "84.1.1.1");
+        v4.extend(hourly_v4(1200..2400, "98.7.7.7"));
+        let (out, report) = run(&series(v4, vec![]));
+        match out {
+            SanitizeOutcome::Clean(hist) => {
+                assert_eq!(hist.len(), 2);
+                assert_eq!(hist[0].asn, Asn(3320));
+                assert_eq!(hist[1].asn, Asn(7922));
+                assert_eq!(hist[0].virtual_index, 0);
+                assert_eq!(hist[1].virtual_index, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(report.split_probes, 1);
+        assert_eq!(report.probes_out, 2);
+    }
+
+    #[test]
+    fn short_virtual_probes_are_dropped() {
+        // 45 days in AS3320, then only 5 days in AS7922.
+        let mut v4 = hourly_v4(0..(45 * 24), "84.1.1.1");
+        v4.extend(hourly_v4((45 * 24)..(50 * 24), "98.7.7.7"));
+        let (out, report) = run(&series(v4, vec![]));
+        match out {
+            SanitizeOutcome::Clean(hist) => {
+                assert_eq!(hist.len(), 1);
+                assert_eq!(hist[0].asn, Asn(3320));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(report.too_short, 1);
+    }
+
+    #[test]
+    fn wholly_short_probe_rejected() {
+        let (out, report) = run(&series(hourly_v4(0..100, "84.1.1.1"), vec![]));
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::TooShort)
+        ));
+        assert_eq!(report.probes_out, 0);
+        assert_eq!(report.too_short, 1);
+    }
+
+    #[test]
+    fn unrouted_records_are_ignored() {
+        // 10.0.0.0/8 is not announced in the test table.
+        let (out, _) = run(&series(hourly_v4(0..800, "10.1.1.1"), vec![]));
+        assert!(matches!(
+            out,
+            SanitizeOutcome::Rejected(RejectReason::NoData)
+        ));
+    }
+}

@@ -1,0 +1,290 @@
+//! Spatial analysis of successive assignments.
+//!
+//! Section 5 asks *where* addresses move upon reassignment:
+//!
+//! * the common prefix length (CPL) between successive /64 assignments
+//!   (Figure 5),
+//! * how often IPv4 changes cross /24 and BGP-prefix boundaries, and how
+//!   often IPv6 changes cross BGP prefixes (Table 2).
+
+use crate::changes::ProbeHistory;
+use dynamips_netaddr::{common_prefix_len_v6, Ipv4Prefix};
+use dynamips_routing::RoutingTable;
+
+/// Per-AS CPL histogram data for Figure 5: for each CPL value, the number
+/// of assignment changes with that CPL (orange bars) and the number of
+/// probes contributing at least one such change (blue bars).
+#[derive(Debug, Clone)]
+pub struct CplHistogram {
+    /// `changes[c]` = assignment changes whose successive /64s share
+    /// exactly `c` bits.
+    pub changes: [u64; 65],
+    /// `probes[c]` = probes with at least one change at CPL `c`.
+    pub probes: [u64; 65],
+}
+
+impl Default for CplHistogram {
+    fn default() -> Self {
+        CplHistogram {
+            changes: [0; 65],
+            probes: [0; 65],
+        }
+    }
+}
+
+impl CplHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one probe's successive-assignment CPLs.
+    pub fn add_probe(&mut self, history: &ProbeHistory) {
+        let mut seen = [false; 65];
+        for pair in history.v6.windows(2) {
+            let cpl = common_prefix_len_v6(&pair[0].value, &pair[1].value) as usize;
+            self.changes[cpl] += 1;
+            seen[cpl] = true;
+        }
+        for (c, s) in seen.iter().enumerate() {
+            if *s {
+                self.probes[c] += 1;
+            }
+        }
+    }
+
+    /// Total changes accounted.
+    pub fn total_changes(&self) -> u64 {
+        self.changes.iter().sum()
+    }
+
+    /// The CPL value with the most changes, if any.
+    pub fn mode(&self) -> Option<u8> {
+        let (idx, &max) = self.changes.iter().enumerate().max_by_key(|(_, &c)| c)?;
+        (max > 0).then_some(idx as u8)
+    }
+}
+
+/// Table-2 counters for one AS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossingStats {
+    /// IPv4 changes observed.
+    pub v4_changes: u64,
+    /// IPv4 changes where the previous and next address fall in different
+    /// /24 blocks.
+    pub v4_diff_slash24: u64,
+    /// IPv4 changes crossing routed BGP prefixes.
+    pub v4_diff_bgp: u64,
+    /// IPv6 changes observed.
+    pub v6_changes: u64,
+    /// IPv6 changes crossing routed BGP prefixes.
+    pub v6_diff_bgp: u64,
+}
+
+impl CrossingStats {
+    /// Account one probe.
+    pub fn add_probe(&mut self, history: &ProbeHistory, routing: &RoutingTable) {
+        for pair in history.v4.windows(2) {
+            self.v4_changes += 1;
+            let a = pair[0].value;
+            let b = pair[1].value;
+            if Ipv4Prefix::slash24_of(a) != Ipv4Prefix::slash24_of(b) {
+                self.v4_diff_slash24 += 1;
+            }
+            let ra = routing.route_v4(a).map(|(p, _)| p);
+            let rb = routing.route_v4(b).map(|(p, _)| p);
+            if ra != rb {
+                self.v4_diff_bgp += 1;
+            }
+        }
+        for pair in history.v6.windows(2) {
+            self.v6_changes += 1;
+            let ra = routing.route_v6_prefix(&pair[0].value).map(|(p, _)| p);
+            let rb = routing.route_v6_prefix(&pair[1].value).map(|(p, _)| p);
+            if ra != rb {
+                self.v6_diff_bgp += 1;
+            }
+        }
+    }
+
+    /// Merge counters.
+    pub fn merge(&mut self, other: &CrossingStats) {
+        self.v4_changes += other.v4_changes;
+        self.v4_diff_slash24 += other.v4_diff_slash24;
+        self.v4_diff_bgp += other.v4_diff_bgp;
+        self.v6_changes += other.v6_changes;
+        self.v6_diff_bgp += other.v6_diff_bgp;
+    }
+
+    /// Percentage of v4 changes across /24s.
+    pub fn pct_v4_diff_slash24(&self) -> f64 {
+        pct(self.v4_diff_slash24, self.v4_changes)
+    }
+
+    /// Percentage of v4 changes across BGP prefixes.
+    pub fn pct_v4_diff_bgp(&self) -> f64 {
+        pct(self.v4_diff_bgp, self.v4_changes)
+    }
+
+    /// Percentage of v6 changes across BGP prefixes.
+    pub fn pct_v6_diff_bgp(&self) -> f64 {
+        pct(self.v6_diff_bgp, self.v6_changes)
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::Span;
+    use dynamips_atlas::ProbeId;
+    use dynamips_netaddr::Ipv6Prefix;
+    use dynamips_netsim::SimTime;
+    use dynamips_routing::Asn;
+    use std::net::Ipv4Addr;
+
+    fn history(v4: Vec<&str>, v6: Vec<&str>) -> ProbeHistory {
+        ProbeHistory {
+            probe: ProbeId(1),
+            virtual_index: 0,
+            asn: Asn(3320),
+            v4: v4
+                .iter()
+                .enumerate()
+                .map(|(i, a)| Span {
+                    value: a.parse::<Ipv4Addr>().unwrap(),
+                    first: SimTime(i as u64 * 10),
+                    last: SimTime(i as u64 * 10 + 9),
+                })
+                .collect(),
+            v6: v6
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Span {
+                    value: p.parse::<Ipv6Prefix>().unwrap(),
+                    first: SimTime(i as u64 * 10),
+                    last: SimTime(i as u64 * 10 + 9),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn cpl_histogram_counts_changes_and_probes() {
+        let mut h = CplHistogram::new();
+        // Paper example: CPL 56 between these two.
+        h.add_probe(&history(
+            vec![],
+            vec![
+                "2604:3d08:4b80:aa00::/64",
+                "2604:3d08:4b80:aaf0::/64",
+                "2604:3d08:4b80:aa00::/64",
+            ],
+        ));
+        assert_eq!(h.changes[56], 2);
+        assert_eq!(h.probes[56], 1, "one probe regardless of change count");
+        assert_eq!(h.total_changes(), 2);
+        assert_eq!(h.mode(), Some(56));
+    }
+
+    #[test]
+    fn cpl_histogram_multiple_probes() {
+        let mut h = CplHistogram::new();
+        for _ in 0..3 {
+            h.add_probe(&history(
+                vec![],
+                vec!["2003:40:a0:aa00::/64", "2003:40:b1:2200::/64"],
+            ));
+        }
+        let cpl = common_prefix_len_v6(
+            &"2003:40:a0:aa00::/64".parse().unwrap(),
+            &"2003:40:b1:2200::/64".parse().unwrap(),
+        ) as usize;
+        assert_eq!(h.changes[cpl], 3);
+        assert_eq!(h.probes[cpl], 3);
+    }
+
+    #[test]
+    fn empty_history_contributes_nothing() {
+        let mut h = CplHistogram::new();
+        h.add_probe(&history(vec![], vec!["2003::/64"]));
+        assert_eq!(h.total_changes(), 0);
+        assert_eq!(h.mode(), None);
+    }
+
+    fn routing() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce_v4("84.0.0.0/10".parse().unwrap(), Asn(3320));
+        t.announce_v4("91.0.0.0/10".parse().unwrap(), Asn(3320));
+        t.announce_v6("2003::/19".parse().unwrap(), Asn(3320));
+        t.announce_v6("2a01::/19".parse().unwrap(), Asn(3320));
+        t
+    }
+
+    #[test]
+    fn crossing_stats_detect_slash24_and_bgp() {
+        let mut s = CrossingStats::default();
+        s.add_probe(
+            &history(
+                vec![
+                    "84.1.1.1", // start
+                    "84.1.1.9", // same /24, same BGP
+                    "84.1.2.9", // diff /24, same BGP
+                    "91.5.5.5", // diff /24, diff BGP
+                ],
+                vec![
+                    "2003:0:0:1::/64",
+                    "2003:0:0:2::/64", // same BGP
+                    "2a01:0:0:1::/64", // diff BGP
+                ],
+            ),
+            &routing(),
+        );
+        assert_eq!(s.v4_changes, 3);
+        assert_eq!(s.v4_diff_slash24, 2);
+        assert_eq!(s.v4_diff_bgp, 1);
+        assert_eq!(s.v6_changes, 2);
+        assert_eq!(s.v6_diff_bgp, 1);
+        assert!((s.pct_v4_diff_slash24() - 66.666).abs() < 0.01);
+        assert!((s.pct_v4_diff_bgp() - 33.333).abs() < 0.01);
+        assert!((s.pct_v6_diff_bgp() - 50.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unrouted_addresses_count_as_different_route() {
+        // 10.0.0.0/8 is unrouted: route lookup None vs Some counts as a
+        // BGP crossing (conservative).
+        let mut s = CrossingStats::default();
+        s.add_probe(&history(vec!["84.1.1.1", "10.0.0.1"], vec![]), &routing());
+        assert_eq!(s.v4_diff_bgp, 1);
+    }
+
+    #[test]
+    fn percentages_of_empty_stats_are_zero() {
+        let s = CrossingStats::default();
+        assert_eq!(s.pct_v4_diff_slash24(), 0.0);
+        assert_eq!(s.pct_v4_diff_bgp(), 0.0);
+        assert_eq!(s.pct_v6_diff_bgp(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CrossingStats {
+            v4_changes: 10,
+            v4_diff_slash24: 5,
+            v4_diff_bgp: 2,
+            v6_changes: 4,
+            v6_diff_bgp: 1,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.v4_changes, 20);
+        assert_eq!(a.v6_diff_bgp, 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Statistics helpers shared by the analyses.
+
+/// Empirical quantile (linear interpolation between order statistics),
+/// `q` in `[0, 1]`. Returns `None` on empty input. Input need not be sorted.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over an already-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary used by the paper's Figure-3 boxplots: whiskers at
+/// the 5th/95th percentiles, box at the quartiles, line at the median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Compute the summary; `None` on empty input.
+    pub fn from_values(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Some(BoxStats {
+            p5: quantile_sorted(&sorted, 0.05),
+            p25: quantile_sorted(&sorted, 0.25),
+            p50: quantile_sorted(&sorted, 0.50),
+            p75: quantile_sorted(&sorted, 0.75),
+            p95: quantile_sorted(&sorted, 0.95),
+            n: sorted.len(),
+        })
+    }
+}
+
+/// An empirical CDF evaluated at caller-chosen thresholds.
+/// Returns `P(X <= t)` for each `t` in `thresholds`.
+pub fn cdf_at(values: &[f64], thresholds: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; thresholds.len()];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    thresholds
+        .iter()
+        .map(|t| {
+            let cnt = sorted.partition_point(|v| v <= t);
+            cnt as f64 / sorted.len() as f64
+        })
+        .collect()
+}
+
+/// A weighted empirical CDF: `P(X <= t)` where each sample carries a weight.
+/// This is the paper's *cumulative total time fraction* when weights are the
+/// durations themselves.
+pub fn weighted_cdf_at(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
+    let total: f64 = values.iter().map(|(_, w)| w).sum();
+    if total <= 0.0 {
+        return vec![0.0; thresholds.len()];
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+    thresholds
+        .iter()
+        .map(|t| {
+            let mass: f64 = sorted
+                .iter()
+                .take_while(|(v, _)| v <= t)
+                .map(|(_, w)| w)
+                .sum();
+            mass / total
+        })
+        .collect()
+}
+
+/// Histogram over log10-spaced bins, used for the paper's Figure-4 degree
+/// densities (x axis 10^0 … 10^6). Returns `(bin upper edges, densities)`
+/// where densities sum to 1 over non-empty input.
+pub fn log10_histogram(values: &[f64], decades: u32, bins_per_decade: u32) -> (Vec<f64>, Vec<f64>) {
+    let nbins = (decades * bins_per_decade) as usize;
+    let mut counts = vec![0.0f64; nbins];
+    let mut total = 0.0;
+    for &v in values {
+        if v < 1.0 {
+            continue;
+        }
+        let pos = v.log10() * bins_per_decade as f64;
+        let idx = (pos.floor() as usize).min(nbins - 1);
+        counts[idx] += 1.0;
+        total += 1.0;
+    }
+    let edges: Vec<f64> = (1..=nbins)
+        .map(|i| 10f64.powf(i as f64 / bins_per_decade as f64))
+        .collect();
+    if total > 0.0 {
+        for c in counts.iter_mut() {
+            *c /= total;
+        }
+    }
+    (edges, counts)
+}
+
+/// Weighted variant of [`log10_histogram`]: each value contributes its
+/// weight (the paper's "hit weighted distribution").
+pub fn log10_histogram_weighted(
+    values: &[(f64, f64)],
+    decades: u32,
+    bins_per_decade: u32,
+) -> (Vec<f64>, Vec<f64>) {
+    let nbins = (decades * bins_per_decade) as usize;
+    let mut counts = vec![0.0f64; nbins];
+    let mut total = 0.0;
+    for &(v, w) in values {
+        if v < 1.0 || w <= 0.0 {
+            continue;
+        }
+        let pos = v.log10() * bins_per_decade as f64;
+        let idx = (pos.floor() as usize).min(nbins - 1);
+        counts[idx] += w;
+        total += w;
+    }
+    let edges: Vec<f64> = (1..=nbins)
+        .map(|i| 10f64.powf(i as f64 / bins_per_decade as f64))
+        .collect();
+    if total > 0.0 {
+        for c in counts.iter_mut() {
+            *c /= total;
+        }
+    }
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        // Interpolation between order statistics.
+        assert_eq!(quantile(&[1.0, 2.0], 0.5), Some(1.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        assert_eq!(quantile(&[5.0, 1.0, 3.0], 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = BoxStats::from_values(&v).unwrap();
+        assert!(b.p5 < b.p25 && b.p25 < b.p50 && b.p50 < b.p75 && b.p75 < b.p95);
+        assert_eq!(b.n, 100);
+        assert!((b.p50 - 50.5).abs() < 1e-9);
+        assert!(BoxStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn cdf_at_thresholds() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let c = cdf_at(&v, &[0.5, 1.0, 2.5, 4.0, 10.0]);
+        assert_eq!(c, vec![0.0, 0.25, 0.5, 1.0, 1.0]);
+        assert_eq!(cdf_at(&[], &[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn weighted_cdf_weights_mass_not_count() {
+        // One short sample with weight 1, one long with weight 9:
+        // the short one holds only 10% of the mass.
+        let v = vec![(1.0, 1.0), (10.0, 9.0)];
+        let c = weighted_cdf_at(&v, &[1.0, 9.9, 10.0]);
+        assert!((c[0] - 0.1).abs() < 1e-12);
+        assert!((c[1] - 0.1).abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cdf_empty_or_zero_weight() {
+        assert_eq!(weighted_cdf_at(&[], &[1.0]), vec![0.0]);
+        assert_eq!(weighted_cdf_at(&[(1.0, 0.0)], &[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn log_histogram_bins_by_magnitude() {
+        // Values at 5, 50, 500: one per decade with 1 bin per decade.
+        let (edges, d) = log10_histogram(&[5.0, 50.0, 500.0], 6, 1);
+        assert_eq!(edges.len(), 6);
+        assert!((d[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d[3], 0.0);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_clamps_overflow_and_skips_sub_one() {
+        let (_, d) = log10_histogram(&[0.5, 1e9], 6, 1);
+        // 0.5 skipped; 1e9 clamps into the last bin.
+        assert_eq!(d[5], 1.0);
+    }
+
+    #[test]
+    fn weighted_log_histogram() {
+        let (_, d) = log10_histogram_weighted(&[(5.0, 1.0), (500.0, 3.0)], 6, 1);
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[2] - 0.75).abs() < 1e-12);
+    }
+}

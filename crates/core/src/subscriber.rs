@@ -1,0 +1,357 @@
+//! Subscriber-boundary inference from trailing zero bits.
+//!
+//! Section 5.3. Two variants, matching the paper's two datasets:
+//!
+//! * **RIPE Atlas**: for each probe, find the number of bits immediately
+//!   above the /64 boundary that are zero in *every* /64 the probe ever
+//!   observed, and subtract from 64 ([`infer_subscriber_len`]).
+//! * **CDN**: classify each observed /64 by its longest streak of trailing
+//!   zero *nibbles* against the /48, /52, /56 and /60 boundaries
+//!   ([`NibbleCounter`], Figure 7).
+
+use crate::changes::ProbeHistory;
+use dynamips_netaddr::{nibble_boundary_class, Ipv6Prefix, NibbleBoundary};
+
+/// Infer the prefix length identifying the subscriber behind a probe:
+/// `64 - (trailing bits that are zero in all observed /64s)`.
+///
+/// Returns `None` for probes with no IPv6 observations. A probe whose /64s
+/// have no common zero suffix infers /64 (the paper's second DTAG spike,
+/// caused by prefix-scrambling CPEs).
+pub fn infer_subscriber_len(history: &ProbeHistory) -> Option<u8> {
+    infer_subscriber_len_of(history.v6.iter().map(|s| s.value))
+}
+
+/// Same inference over any set of /64s (used by tests and the CDN-side
+/// analyses).
+///
+/// ```
+/// use dynamips_core::subscriber::infer_subscriber_len_of;
+/// use dynamips_netaddr::Ipv6Prefix;
+///
+/// // Two /64s from a CPE that zeroes the bits of its /56 delegation:
+/// let p64s = ["2003:40:a0:ab00::/64", "2003:41:17:2200::/64"]
+///     .iter()
+///     .map(|s| s.parse::<Ipv6Prefix>().unwrap());
+/// assert_eq!(infer_subscriber_len_of(p64s), Some(56));
+/// ```
+pub fn infer_subscriber_len_of(p64s: impl Iterator<Item = Ipv6Prefix>) -> Option<u8> {
+    let mut any = false;
+    let mut or_bits: u64 = 0;
+    for p in p64s {
+        any = true;
+        or_bits |= (p.bits() >> 64) as u64;
+    }
+    if !any {
+        return None;
+    }
+    let common_zeros = if or_bits == 0 {
+        64
+    } else {
+        or_bits.trailing_zeros() as u8
+    };
+    Some(64 - common_zeros.min(64))
+}
+
+/// The modal per-probe inferred subscriber length over a population —
+/// robust to the scrambling-CPE minority that contaminates a global
+/// bitwise-OR (one scrambler forces the joint inference to /64).
+pub fn infer_subscriber_len_mode<'a>(
+    histories: impl Iterator<Item = &'a ProbeHistory>,
+) -> Option<u8> {
+    let mut dist = InferredLenDistribution::new();
+    for h in histories {
+        dist.add_probe(h);
+    }
+    dist.mode()
+}
+
+/// Figure-7 accumulator: counts observed /64s per trailing-zero nibble
+/// class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NibbleCounter {
+    /// /64s whose longest zero streak reaches the /48 boundary.
+    pub slash48: u64,
+    /// … the /52 boundary.
+    pub slash52: u64,
+    /// … the /56 boundary.
+    pub slash56: u64,
+    /// … the /60 boundary.
+    pub slash60: u64,
+    /// /64s with no inferable boundary.
+    pub none: u64,
+}
+
+impl NibbleCounter {
+    /// Account one observed /64.
+    pub fn add(&mut self, p64: &Ipv6Prefix) {
+        match nibble_boundary_class(p64) {
+            NibbleBoundary::Slash48 => self.slash48 += 1,
+            NibbleBoundary::Slash52 => self.slash52 += 1,
+            NibbleBoundary::Slash56 => self.slash56 += 1,
+            NibbleBoundary::Slash60 => self.slash60 += 1,
+            NibbleBoundary::None => self.none += 1,
+        }
+    }
+
+    /// Merge counters.
+    pub fn merge(&mut self, other: &NibbleCounter) {
+        self.slash48 += other.slash48;
+        self.slash52 += other.slash52;
+        self.slash56 += other.slash56;
+        self.slash60 += other.slash60;
+        self.none += other.none;
+    }
+
+    /// Total /64s accounted.
+    pub fn total(&self) -> u64 {
+        self.slash48 + self.slash52 + self.slash56 + self.slash60 + self.none
+    }
+
+    /// Fraction of /64s in each inferable class, in `(48, 52, 56, 60)`
+    /// order (the bars of Figure 7).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        [
+            self.slash48 as f64 / t as f64,
+            self.slash52 as f64 / t as f64,
+            self.slash56 as f64 / t as f64,
+            self.slash60 as f64 / t as f64,
+        ]
+    }
+
+    /// Fraction of /64s with *any* inferable delegation boundary (the
+    /// percentages in Figure 7's panel titles: ARIN 59.0%, RIPE 78.8%, …).
+    pub fn inferable_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.none) as f64 / t as f64
+        }
+    }
+}
+
+/// Distribution of inferred subscriber prefix lengths over probes
+/// (Figures 6 and 9).
+#[derive(Debug, Clone)]
+pub struct InferredLenDistribution {
+    /// `counts[len]` = probes inferring subscriber length `len` (index
+    /// 0..=64; only 40..=64 is realistically populated).
+    pub counts: [u64; 65],
+}
+
+impl Default for InferredLenDistribution {
+    fn default() -> Self {
+        InferredLenDistribution { counts: [0; 65] }
+    }
+}
+
+impl InferredLenDistribution {
+    /// Create an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account one probe (no-op for v6-less probes).
+    pub fn add_probe(&mut self, history: &ProbeHistory) {
+        if let Some(len) = infer_subscriber_len(history) {
+            self.counts[len as usize] += 1;
+        }
+    }
+
+    /// Total probes accounted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage of probes inferring exactly `len`.
+    pub fn percentage(&self, len: u8) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.counts[len as usize] as f64 / t as f64
+        }
+    }
+
+    /// The modal inferred length, if any probes were accounted. Ties are
+    /// broken toward the *shorter* length — the conservative choice for the
+    /// scanning and blocking applications (more coverage, never less).
+    pub fn mode(&self) -> Option<u8> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &c)| (c, std::cmp::Reverse(*i)))?;
+        (max > 0).then_some(idx as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::Span;
+    use dynamips_atlas::ProbeId;
+    use dynamips_netsim::SimTime;
+    use dynamips_routing::Asn;
+
+    fn history(p64s: Vec<&str>) -> ProbeHistory {
+        ProbeHistory {
+            probe: ProbeId(1),
+            virtual_index: 0,
+            asn: Asn(3320),
+            v4: vec![],
+            v6: p64s
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Span {
+                    value: p.parse::<Ipv6Prefix>().unwrap(),
+                    first: SimTime(i as u64 * 10),
+                    last: SimTime(i as u64 * 10 + 9),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn zeroed_slash56_delegation_inferred() {
+        // A CPE with a /56 delegation announcing the lowest /64: the last
+        // 8 bits before /64 are always zero.
+        let h = history(vec![
+            "2003:40:a0:aa00::/64",
+            "2003:40:b1:2200::/64",
+            "2003:41:17:c500::/64",
+        ]);
+        assert_eq!(infer_subscriber_len(&h), Some(56));
+    }
+
+    #[test]
+    fn scrambled_bits_infer_64() {
+        let h = history(vec!["2003:40:a0:aa17::/64", "2003:40:b1:22e9::/64"]);
+        assert_eq!(infer_subscriber_len(&h), Some(64));
+    }
+
+    #[test]
+    fn netcologne_style_slash48() {
+        let h = history(vec!["2001:4dd0:1a2b::/64", "2001:4dd0:33dd::/64"]);
+        // 16 trailing zero bits in both -> /48.
+        assert_eq!(infer_subscriber_len(&h), Some(48));
+    }
+
+    #[test]
+    fn kabel_style_slash62() {
+        let h = history(vec![
+            "2a02:810:0:4::/64",
+            "2a02:810:0:8::/64",
+            "2a02:810:0:c::/64",
+        ]);
+        // Low 2 bits always zero -> /62.
+        assert_eq!(infer_subscriber_len(&h), Some(62));
+    }
+
+    #[test]
+    fn inference_needs_v6() {
+        assert_eq!(infer_subscriber_len(&history(vec![])), None);
+    }
+
+    #[test]
+    fn single_observation_can_overestimate_zeros() {
+        // With one /64 ending in zeros we infer a short length — the paper
+        // notes the risk but argues the false-positive rate is small.
+        let h = history(vec!["2003:40:a0:ab00::/64"]);
+        assert_eq!(infer_subscriber_len(&h), Some(56));
+    }
+
+    #[test]
+    fn nibble_counter_classes() {
+        let mut c = NibbleCounter::default();
+        c.add(&"2001:db8:1::/64".parse().unwrap()); // 16 zeros -> /48
+        c.add(&"2001:db8:1:1000::/64".parse().unwrap()); // 12 -> /52
+        c.add(&"2001:db8:1:1100::/64".parse().unwrap()); // 8 -> /56
+        c.add(&"2001:db8:1:1110::/64".parse().unwrap()); // 4 -> /60
+        c.add(&"2001:db8:1:1111::/64".parse().unwrap()); // none
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.fractions(), [0.2, 0.2, 0.2, 0.2]);
+        assert!((c.inferable_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nibble_counter_merge() {
+        let mut a = NibbleCounter {
+            slash56: 3,
+            none: 1,
+            ..Default::default()
+        };
+        a.merge(&NibbleCounter {
+            slash56: 1,
+            slash60: 2,
+            ..Default::default()
+        });
+        assert_eq!(a.slash56, 4);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn distribution_percentages_and_mode() {
+        let mut d = InferredLenDistribution::new();
+        for _ in 0..3 {
+            d.add_probe(&history(vec![
+                "2003:40:a0:ab00::/64",
+                "2003:40:b1:2200::/64",
+            ]));
+        }
+        d.add_probe(&history(vec![
+            "2003:40:a0:aa17::/64",
+            "2003:40:0:2201::/64",
+        ]));
+        assert_eq!(d.total(), 4);
+        assert!((d.percentage(56) - 75.0).abs() < 1e-12);
+        assert!((d.percentage(64) - 25.0).abs() < 1e-12);
+        assert_eq!(d.mode(), Some(56));
+    }
+
+    #[test]
+    fn mode_is_robust_to_scrambler_minority() {
+        // 4 zero-out probes and 1 scrambler: the joint OR would say /64,
+        // the per-probe mode says /56.
+        let zeroed: Vec<ProbeHistory> = (0..4)
+            .map(|i| {
+                history(vec![
+                    Box::leak(format!("2003:40:{i}:ab00::/64").into_boxed_str()),
+                    Box::leak(format!("2003:41:{i}:2200::/64").into_boxed_str()),
+                ])
+            })
+            .collect();
+        let scrambler = history(vec!["2003:40:9:aa17::/64", "2003:40:9:22e9::/64"]);
+        let all: Vec<&ProbeHistory> = zeroed.iter().chain(std::iter::once(&scrambler)).collect();
+        assert_eq!(infer_subscriber_len_mode(all.into_iter()), Some(56));
+        // The joint inference collapses to /64, as documented.
+        let joint = infer_subscriber_len_of(
+            zeroed
+                .iter()
+                .chain(std::iter::once(&scrambler))
+                .flat_map(|h| h.v6.iter().map(|s| s.value)),
+        );
+        assert_eq!(joint, Some(64));
+    }
+
+    #[test]
+    fn mode_ties_break_toward_shorter() {
+        let mut d = InferredLenDistribution::new();
+        d.counts[56] = 5;
+        d.counts[64] = 5;
+        assert_eq!(d.mode(), Some(56));
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = InferredLenDistribution::new();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.percentage(56), 0.0);
+        assert_eq!(d.mode(), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Seed-driven target generation: simplified reimplementations of the two
+//! techniques the paper names (Section 2.3) so they can be compared against
+//! boundary-guided planning on equal terms.
+//!
+//! * [`NibbleModel`] — Entropy/IP-lite (Foremski et al.): learn per-nibble
+//!   value frequencies over the 16 network nibbles of seed /64s, then
+//!   generate candidates in order of joint probability.
+//! * [`sixgen_targets`] — 6Gen-lite (Murdock et al.): find dense clusters
+//!   in the sorted seed list and enumerate the /64s around them.
+//!
+//! Both originals model full 128-bit addresses; the paper's unit of
+//! analysis is the /64, so these operate on the 64 network bits. The
+//! `targetgen` experiment in `dynamips-experiments` compares them with the
+//! pool/subscriber-boundary plan of [`crate::hitlist`] at equal probe
+//! budgets.
+
+use dynamips_netaddr::Ipv6Prefix;
+use std::collections::HashSet;
+
+/// Per-nibble frequency model over the 16 network nibbles of a /64.
+#[derive(Debug, Clone)]
+pub struct NibbleModel {
+    /// `freq[pos][value]` = relative frequency of `value` at nibble `pos`
+    /// (0 = most significant).
+    freq: [[f64; 16]; 16],
+    trained_on: usize,
+}
+
+impl NibbleModel {
+    /// Train on seed /64s. Returns `None` on an empty seed set.
+    pub fn train(seeds: &[Ipv6Prefix]) -> Option<NibbleModel> {
+        if seeds.is_empty() {
+            return None;
+        }
+        let mut counts = [[0usize; 16]; 16];
+        for seed in seeds {
+            let network = (seed.bits() >> 64) as u64;
+            for (pos, slot) in counts.iter_mut().enumerate() {
+                let nibble = ((network >> (60 - 4 * pos)) & 0xf) as usize;
+                slot[nibble] += 1;
+            }
+        }
+        let mut freq = [[0f64; 16]; 16];
+        for pos in 0..16 {
+            for v in 0..16 {
+                freq[pos][v] = counts[pos][v] as f64 / seeds.len() as f64;
+            }
+        }
+        Some(NibbleModel {
+            freq,
+            trained_on: seeds.len(),
+        })
+    }
+
+    /// Number of seeds the model was trained on.
+    pub fn trained_on(&self) -> usize {
+        self.trained_on
+    }
+
+    /// Generate up to `limit` candidate /64s by beam search over the
+    /// per-nibble distributions, highest joint probability first. `beam`
+    /// bounds the number of partial candidates kept per position.
+    pub fn generate(&self, limit: usize, beam: usize) -> Vec<Ipv6Prefix> {
+        let beam = beam.max(limit).max(1);
+        // (network bits so far, log-probability)
+        let mut partials: Vec<(u64, f64)> = vec![(0, 0.0)];
+        for pos in 0..16 {
+            let mut next: Vec<(u64, f64)> = Vec::with_capacity(partials.len() * 4);
+            for (bits, logp) in &partials {
+                for v in 0..16u64 {
+                    let p = self.freq[pos][v as usize];
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    next.push(((bits << 4) | v, logp + p.ln()));
+                }
+            }
+            next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaNs"));
+            next.truncate(beam);
+            partials = next;
+        }
+        partials
+            .into_iter()
+            .take(limit)
+            .map(|(bits, _)| {
+                Ipv6Prefix::from_bits((bits as u128) << 64, 64).expect("canonical /64")
+            })
+            .collect()
+    }
+}
+
+/// 6Gen-lite: group sorted seeds into clusters whose covering prefix is at
+/// least `min_cluster_len` long, then spend `limit` targets enumerating the
+/// /64s of the densest clusters first. Returns targets including the seeds
+/// themselves.
+pub fn sixgen_targets(seeds: &[Ipv6Prefix], min_cluster_len: u8, limit: usize) -> Vec<Ipv6Prefix> {
+    if seeds.is_empty() || limit == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<Ipv6Prefix> = seeds.to_vec();
+    sorted.sort();
+    sorted.dedup();
+
+    // Greedy clustering over sorted seeds: extend the cluster while the
+    // covering prefix stays at least `min_cluster_len`.
+    struct Cluster {
+        cover: Ipv6Prefix,
+        seeds: usize,
+    }
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for seed in &sorted {
+        match clusters.last_mut() {
+            Some(c) => {
+                let cpl = dynamips_netaddr::common_prefix_len_v6(&c.cover, seed);
+                if cpl >= min_cluster_len {
+                    c.cover = c.cover.supernet(cpl).expect("cpl <= cover len");
+                    c.seeds += 1;
+                } else {
+                    clusters.push(Cluster {
+                        cover: *seed,
+                        seeds: 1,
+                    });
+                }
+            }
+            None => clusters.push(Cluster {
+                cover: *seed,
+                seeds: 1,
+            }),
+        }
+    }
+
+    // Densest clusters first: seeds per covered /64.
+    clusters.sort_by(|a, b| {
+        let da = a.seeds as f64 / a.cover.num_subprefixes(64).unwrap_or(u64::MAX) as f64;
+        let db = b.seeds as f64 / b.cover.num_subprefixes(64).unwrap_or(u64::MAX) as f64;
+        db.partial_cmp(&da).expect("no NaNs")
+    });
+
+    let mut out: Vec<Ipv6Prefix> = Vec::with_capacity(limit);
+    let mut emitted: HashSet<u128> = HashSet::new();
+    for c in &clusters {
+        if out.len() >= limit {
+            break;
+        }
+        let count = c.cover.num_subprefixes(64).unwrap_or(u64::MAX);
+        let budget = (limit - out.len()) as u64;
+        for i in 0..count.min(budget) {
+            let t = c.cover.nth_subprefix(64, i).expect("within cover");
+            if emitted.insert(t.bits()) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitlist::hit_rate;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn nibble_model_reproduces_constant_structure() {
+        // Seeds share everything but the last nibble pair; zero suffix is
+        // the most frequent continuation.
+        let seeds: Vec<Ipv6Prefix> = (0..16u32)
+            .map(|i| p(&format!("2003:40:a0:{:x}00::/64", i)))
+            .collect();
+        let model = NibbleModel::train(&seeds).unwrap();
+        assert_eq!(model.trained_on(), 16);
+        let targets = model.generate(64, 256);
+        assert!(!targets.is_empty());
+        // Every generated /64 keeps the constant prefix 2003:40:a0.
+        for t in &targets {
+            assert_eq!(t.supernet(48).unwrap(), p("2003:40:a0::/48"), "{t}");
+        }
+        // And the seeds themselves are among the most probable candidates.
+        let rate = hit_rate(&targets, &seeds);
+        assert!(rate > 0.9, "{rate}");
+    }
+
+    #[test]
+    fn nibble_model_generation_is_probability_ordered() {
+        // 75% of seeds end in 0x0, 25% in 0x8 at the last nibble.
+        let mut seeds = vec![p("2001:db8::/64"); 3];
+        seeds.push(p("2001:db8:0:8::/64"));
+        let model = NibbleModel::train(&seeds).unwrap();
+        let targets = model.generate(2, 16);
+        assert_eq!(targets[0], p("2001:db8::/64"), "most probable first");
+        assert_eq!(targets[1], p("2001:db8:0:8::/64"));
+    }
+
+    #[test]
+    fn empty_seeds_yield_no_model() {
+        assert!(NibbleModel::train(&[]).is_none());
+    }
+
+    #[test]
+    fn sixgen_enumerates_dense_cluster_first() {
+        // A dense cluster of 8 seeds inside one /56, plus one far-away seed.
+        let mut seeds: Vec<Ipv6Prefix> = (0..8u32)
+            .map(|i| p(&format!("2003:40:a0:aa{:02x}::/64", i * 2)))
+            .collect();
+        seeds.push(p("2a00:9999:0:1::/64"));
+        let targets = sixgen_targets(&seeds, 48, 300);
+        assert!(!targets.is_empty());
+        // The seeds aa00, aa02 ... aa0e tighten the cover to aa00::/60
+        // (16 /64s), all of which get enumerated — including the unseen
+        // odd-numbered ones in between the seeds.
+        let in_cluster = targets
+            .iter()
+            .filter(|t| t.supernet(60).unwrap() == p("2003:40:a0:aa00::/60"))
+            .count();
+        assert_eq!(in_cluster, 16, "dense cluster fully enumerated");
+        assert!(targets.contains(&p("2003:40:a0:aa01::/64")));
+    }
+
+    #[test]
+    fn sixgen_respects_budget_and_dedupes() {
+        let seeds: Vec<Ipv6Prefix> = (0..8u32)
+            .map(|i| p(&format!("2003:40:a0:aa{:02x}::/64", i)))
+            .collect();
+        let targets = sixgen_targets(&seeds, 48, 5);
+        assert_eq!(targets.len(), 5, "budget caps enumeration");
+        let set: HashSet<u128> = targets.iter().map(|t| t.bits()).collect();
+        assert_eq!(set.len(), 5, "no duplicates");
+        assert!(sixgen_targets(&seeds, 48, 0).is_empty());
+        assert!(sixgen_targets(&[], 48, 10).is_empty());
+    }
+
+    #[test]
+    fn sixgen_separates_distant_clusters() {
+        let seeds = vec![
+            p("2003:40:a0:aa00::/64"),
+            p("2003:40:a0:aa01::/64"),
+            p("2a00:9999:0:1::/64"),
+        ];
+        // min_cluster_len 48: the 2a00 seed cannot join the 2003 cluster.
+        let targets = sixgen_targets(&seeds, 48, 1000);
+        assert!(targets.contains(&p("2a00:9999:0:1::/64")));
+        assert!(targets.contains(&p("2003:40:a0:aa00::/64")));
+    }
+}

@@ -1,0 +1,296 @@
+//! Host trackability under different identifier choices.
+//!
+//! Section 2.3 ("Tracking and Anonymity") and Section 6: privacy addresses
+//! (RFC 4941) rotate the 64-bit host component, but "the relatively static
+//! 64-bit network part permits subscriber-identification over long
+//! periods", and devices still using EUI-64 identifiers "will be trackable
+//! across network address changes". This module quantifies exactly that:
+//! for one subscriber's ground-truth timeline, how long can an observer
+//! keep re-identifying them under each identifier strategy?
+
+use dynamips_netsim::{SubscriberTimeline, DAY};
+
+/// What the observer keys its tracking on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackingKey {
+    /// The full 128-bit address of a device using privacy (RFC 4941)
+    /// identifiers that rotate every `rotation_hours`.
+    FullAddressPrivacyIid {
+        /// Privacy-extension regeneration interval (commonly ~1 day).
+        rotation_hours: u64,
+    },
+    /// The full 128-bit address of a device with a stable EUI-64
+    /// identifier.
+    FullAddressEui64,
+    /// The /64 network prefix (the paper's unit of analysis).
+    Slash64,
+    /// The prefix truncated to `len` (e.g. the delegated-prefix length or
+    /// the pool length).
+    Truncated(u8),
+}
+
+/// Result of a trackability evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trackability {
+    /// Longest continuous interval (hours) over which the key kept
+    /// identifying the subscriber.
+    pub longest_track_hours: u64,
+    /// Fraction of the subscriber's online time covered by its single
+    /// longest track.
+    pub longest_track_fraction: f64,
+    /// Number of tracking runs — each boundary forces the observer to
+    /// re-identify the subscriber (1 = trackable for the whole window).
+    pub distinct_keys: usize,
+}
+
+/// Evaluate how long `key` keeps identifying the subscriber behind
+/// `timeline`. The subscriber's device IID is `timeline.device_iid` when
+/// stable; privacy rotation is simulated by breaking tracks every
+/// `rotation_hours` regardless of network stability.
+pub fn evaluate(timeline: &SubscriberTimeline, key: TrackingKey) -> Trackability {
+    // Build the sequence of key-change boundaries over the v6 timeline.
+    let mut tracks: Vec<u64> = Vec::new(); // durations of constant-key runs
+    let mut distinct = 0usize;
+    let mut online: u64 = 0;
+
+    let mut run: u64 = 0;
+    let mut prev_key: Option<u128> = None;
+    for seg in &timeline.v6 {
+        let seg_hours = seg.end - seg.start;
+        online += seg_hours;
+        let seg_key: Option<u128> = match key {
+            TrackingKey::FullAddressPrivacyIid { .. } => None, // handled below
+            TrackingKey::FullAddressEui64 => Some(
+                seg.lan64
+                    .with_iid(timeline.device_iid)
+                    .map(u128::from)
+                    .unwrap_or_default(),
+            ),
+            TrackingKey::Slash64 => Some(seg.lan64.bits()),
+            TrackingKey::Truncated(len) => Some(
+                seg.lan64
+                    .supernet(len.min(64))
+                    .map(|p| p.bits())
+                    .unwrap_or_default(),
+            ),
+        };
+        match key {
+            TrackingKey::FullAddressPrivacyIid { rotation_hours } => {
+                // Every rotation within the segment produces a fresh key.
+                let rotation = rotation_hours.max(1);
+                let pieces = seg_hours.div_ceil(rotation);
+                for i in 0..pieces {
+                    let piece = (seg_hours - i * rotation).min(rotation);
+                    tracks.push(piece);
+                    distinct += 1;
+                }
+                prev_key = None;
+                run = 0;
+            }
+            _ => {
+                let k = seg_key.expect("non-privacy keys computed above");
+                if prev_key == Some(k) {
+                    run += seg_hours;
+                } else {
+                    if run > 0 {
+                        tracks.push(run);
+                    }
+                    if prev_key != Some(k) {
+                        distinct += 1;
+                    }
+                    run = seg_hours;
+                    prev_key = Some(k);
+                }
+            }
+        }
+    }
+    if run > 0 {
+        tracks.push(run);
+    }
+
+    let longest = tracks.iter().copied().max().unwrap_or(0);
+    Trackability {
+        longest_track_hours: longest,
+        longest_track_fraction: if online == 0 {
+            0.0
+        } else {
+            longest as f64 / online as f64
+        },
+        distinct_keys: distinct,
+    }
+}
+
+/// Whether a stable EUI-64 device can be *relocated* after a renumbering by
+/// scanning the enclosing `pool_len` block (Section 5.2's "a device with an
+/// EUI-64 address can be almost trivially located in many domestic ISPs"):
+/// true when all of the subscriber's /64s share that block.
+pub fn eui64_relocatable_within(timeline: &SubscriberTimeline, pool_len: u8) -> bool {
+    let mut pools = timeline
+        .v6
+        .iter()
+        .map(|s| s.lan64.supernet(pool_len.min(64)).expect("len <= 64"));
+    match pools.next() {
+        None => false,
+        Some(first) => pools.all(|p| p == first),
+    }
+}
+
+/// Convenience: the paper's headline comparison for one subscriber —
+/// privacy addresses rotate daily yet the /64 tracks for `x` days.
+pub fn privacy_vs_prefix_summary(timeline: &SubscriberTimeline) -> (f64, f64) {
+    let privacy = evaluate(
+        timeline,
+        TrackingKey::FullAddressPrivacyIid {
+            rotation_hours: DAY,
+        },
+    );
+    let prefix = evaluate(timeline, TrackingKey::Slash64);
+    (
+        privacy.longest_track_hours as f64 / DAY as f64,
+        prefix.longest_track_hours as f64 / DAY as f64,
+    )
+}
+
+/// Typed keys for reporting.
+pub fn key_label(key: TrackingKey) -> String {
+    match key {
+        TrackingKey::FullAddressPrivacyIid { rotation_hours } => {
+            format!("full addr, privacy IID ({}h rotation)", rotation_hours)
+        }
+        TrackingKey::FullAddressEui64 => "full addr, EUI-64 IID".into(),
+        TrackingKey::Slash64 => "/64 prefix".into(),
+        TrackingKey::Truncated(len) => format!("/{len} prefix"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynamips_netsim::timeline::{SubscriberId, V6Segment};
+    use dynamips_netsim::SimTime;
+    use dynamips_routing::Asn;
+
+    fn timeline(segs: Vec<(u64, u64, &str, &str)>) -> SubscriberTimeline {
+        SubscriberTimeline {
+            id: SubscriberId {
+                asn: Asn(3320),
+                index: 0,
+            },
+            dual_stack: true,
+            device_iid: 0x0225_96ff_fe12_3456,
+            v4: vec![],
+            v6: segs
+                .into_iter()
+                .map(|(a, b, d, l)| V6Segment {
+                    start: SimTime(a),
+                    end: SimTime(b),
+                    delegated: d.parse().unwrap(),
+                    lan64: l.parse().unwrap(),
+                })
+                .collect(),
+        }
+    }
+
+    /// 90 days of a stable /64.
+    fn stable() -> SubscriberTimeline {
+        timeline(vec![(
+            0,
+            90 * 24,
+            "2003:40:a0:aa00::/56",
+            "2003:40:a0:aa00::/64",
+        )])
+    }
+
+    #[test]
+    fn privacy_addresses_break_daily_but_prefix_tracks_for_months() {
+        let tl = stable();
+        let (privacy_days, prefix_days) = privacy_vs_prefix_summary(&tl);
+        assert!((privacy_days - 1.0).abs() < 1e-9, "{privacy_days}");
+        assert!((prefix_days - 90.0).abs() < 1e-9, "{prefix_days}");
+        // 90 distinct privacy addresses vs one /64.
+        let p = evaluate(
+            &tl,
+            TrackingKey::FullAddressPrivacyIid { rotation_hours: 24 },
+        );
+        assert_eq!(p.distinct_keys, 90);
+        let s = evaluate(&tl, TrackingKey::Slash64);
+        assert_eq!(s.distinct_keys, 1);
+        assert!((s.longest_track_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renumbering_breaks_slash64_but_not_truncated_tracking() {
+        // Daily renumbering within one /56 (a rotating scrambler CPE).
+        let segs: Vec<(u64, u64, String, String)> = (0..30)
+            .map(|i| {
+                (
+                    i * 24,
+                    (i + 1) * 24,
+                    "2003:40:a0:aa00::/56".to_string(),
+                    format!("2003:40:a0:aa{:02x}::/64", i + 1),
+                )
+            })
+            .collect();
+        let tl = timeline(
+            segs.iter()
+                .map(|(a, b, d, l)| (*a, *b, d.as_str(), l.as_str()))
+                .collect(),
+        );
+        let s64 = evaluate(&tl, TrackingKey::Slash64);
+        assert_eq!(s64.longest_track_hours, 24, "every /64 lives one day");
+        assert_eq!(s64.distinct_keys, 30);
+        let s56 = evaluate(&tl, TrackingKey::Truncated(56));
+        assert_eq!(s56.longest_track_hours, 30 * 24, "the /56 never changes");
+        assert_eq!(s56.distinct_keys, 1);
+    }
+
+    #[test]
+    fn eui64_tracks_across_contiguous_same_prefix_periods_only() {
+        // Same /64 for 10 days, then a different /64 for 10 days.
+        let tl = timeline(vec![
+            (0, 240, "2003:40:a0:aa00::/56", "2003:40:a0:aa00::/64"),
+            (240, 480, "2003:41:17:bb00::/56", "2003:41:17:bb00::/64"),
+        ]);
+        let e = evaluate(&tl, TrackingKey::FullAddressEui64);
+        // The full address changes with the prefix even though the IID is
+        // stable...
+        assert_eq!(e.longest_track_hours, 240);
+        assert_eq!(e.distinct_keys, 2);
+        // ...but the device is relocatable by scanning the /24-grained pool
+        // both prefixes share (2003::/19-ish), not a /40.
+        assert!(eui64_relocatable_within(&tl, 16));
+        assert!(!eui64_relocatable_within(&tl, 40));
+    }
+
+    #[test]
+    fn gaps_do_not_count_as_online_time() {
+        let tl = timeline(vec![
+            (0, 24, "2003:40:a0:aa00::/56", "2003:40:a0:aa00::/64"),
+            // 24h offline gap, same prefix resumed.
+            (48, 96, "2003:40:a0:aa00::/56", "2003:40:a0:aa00::/64"),
+        ]);
+        let s = evaluate(&tl, TrackingKey::Slash64);
+        // Online time is 24 + 48 = 72h; the key never changed.
+        assert_eq!(s.longest_track_hours, 72);
+        assert_eq!(s.distinct_keys, 1);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let tl = timeline(vec![]);
+        let t = evaluate(&tl, TrackingKey::Slash64);
+        assert_eq!(t.longest_track_hours, 0);
+        assert_eq!(t.distinct_keys, 0);
+        assert_eq!(t.longest_track_fraction, 0.0);
+        assert!(!eui64_relocatable_within(&tl, 40));
+    }
+
+    #[test]
+    fn labels_render() {
+        assert!(key_label(TrackingKey::Truncated(56)).contains("/56"));
+        assert!(
+            key_label(TrackingKey::FullAddressPrivacyIid { rotation_hours: 24 })
+                .contains("privacy")
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Self-check: evaluate the paper-shape predicates against a fresh
+//! regeneration and report PASS/FAIL per shape.
+//!
+//! The same predicates are enforced in `tests/paper_shapes.rs`; this
+//! in-binary version lets a user validate any seed/scale combination
+//! (`dynamips --seed 7 --atlas-scale 0.5 check`) without the test harness.
+
+use crate::context::{AtlasAnalysis, CdnAnalysis};
+use dynamips_core::durations::detect_period;
+use dynamips_core::report::TextTable;
+use dynamips_core::stats::quantile;
+use dynamips_routing::Rir;
+
+/// One shape predicate result.
+pub struct ShapeCheck {
+    /// Which artifact the shape belongs to.
+    pub artifact: &'static str,
+    /// Human-readable statement of the shape.
+    pub shape: String,
+    /// Whether it held.
+    pub pass: bool,
+    /// The measured value(s), for diagnosis.
+    pub measured: String,
+}
+
+fn check(
+    artifact: &'static str,
+    shape: impl Into<String>,
+    pass: bool,
+    measured: impl Into<String>,
+) -> ShapeCheck {
+    ShapeCheck {
+        artifact,
+        shape: shape.into(),
+        pass,
+        measured: measured.into(),
+    }
+}
+
+/// Evaluate every shape predicate.
+pub fn run_checks(a: &AtlasAnalysis, c: &CdnAnalysis) -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+
+    // --- Figure 1 ---
+    for (name, period) in [("DTAG", 24u64), ("Orange", 168), ("BT", 336), ("Proximus", 36)] {
+        let detected = a
+            .by_name(name)
+            .and_then(|(_, s)| detect_period(&s.v4_durations_nds, 0.06, 0.4))
+            .map(|p| p.period_hours);
+        let lo = (period as f64 * 0.9) as u64;
+        let hi = (period as f64 * 1.1) as u64;
+        out.push(check(
+            "fig1",
+            format!("{name} renumbers IPv4 every ~{period}h (non-dual-stack)"),
+            detected.map(|d| (lo..=hi).contains(&d)).unwrap_or(false),
+            detected
+                .map(|d| format!("{d}h"))
+                .unwrap_or_else(|| "none".into()),
+        ));
+    }
+    if let Some((_, s)) = a.by_name("Orange") {
+        let nds = s.v4_durations_nds.cumulative_ttf_at(&[7 * 24])[0];
+        let ds = s.v4_durations_ds.cumulative_ttf_at(&[7 * 24])[0];
+        out.push(check(
+            "fig1",
+            "Orange dual-stack v4 outlasts non-dual-stack",
+            ds <= nds + 0.02,
+            format!("TTF@1w: DS {ds:.2} vs NDS {nds:.2}"),
+        ));
+    }
+
+    // --- Interplay ---
+    let sim = |name: &str| {
+        a.by_name(name)
+            .map(|(_, s)| s.cooccurrence.simultaneity())
+            .unwrap_or(0.0)
+    };
+    out.push(check(
+        "claims",
+        "DTAG v4/v6 changes mostly simultaneous",
+        sim("DTAG") > 0.75,
+        format!("{:.0}%", 100.0 * sim("DTAG")),
+    ));
+    out.push(check(
+        "claims",
+        "Comcast v4/v6 changes mostly independent",
+        sim("Comcast") < 0.5,
+        format!("{:.0}%", 100.0 * sim("Comcast")),
+    ));
+
+    // --- Table 2 ---
+    for name in ["DTAG", "Orange", "Versatel", "BT"] {
+        if let Some((_, s)) = a.by_name(name) {
+            out.push(check(
+                "table2",
+                format!("{name}: v6 crosses BGP prefixes far less than v4"),
+                s.crossing.pct_v6_diff_bgp() < 10.0
+                    && s.crossing.pct_v4_diff_bgp() > s.crossing.pct_v6_diff_bgp(),
+                format!(
+                    "v4 {:.0}% vs v6 {:.0}%",
+                    s.crossing.pct_v4_diff_bgp(),
+                    s.crossing.pct_v6_diff_bgp()
+                ),
+            ));
+        }
+    }
+
+    // --- Figures 5/6/8 ---
+    if let Some((_, s)) = a.by_name("DTAG") {
+        let below24: u64 = s.cpl.changes[..24].iter().sum();
+        let high: u64 = s.cpl.changes[56..].iter().sum();
+        out.push(check(
+            "fig5",
+            "DTAG: no CPL below /24; scrambler changes at CPL >= 56",
+            below24 == 0 && high > 0,
+            format!("<24: {below24}, >=56: {high}"),
+        ));
+        out.push(check(
+            "fig8",
+            "DTAG probes see few unique /40s but many /64s",
+            s.pools.cdf_at(3, 5) > 0.9 && s.pools.median(0) > 50.0,
+            format!(
+                "P(<=5 /40s) = {:.2}, median /64s = {:.0}",
+                s.pools.cdf_at(3, 5),
+                s.pools.median(0)
+            ),
+        ));
+    }
+    for (name, len) in [
+        ("Orange", 56u8),
+        ("Sky U.K.", 56),
+        ("Kabel DE", 62),
+        ("Netcologne", 48),
+        ("Comcast", 60),
+    ] {
+        let mode = a.by_name(name).and_then(|(_, s)| s.inferred.mode());
+        out.push(check(
+            "fig6",
+            format!("{name} delegates /{len}s (modal inference)"),
+            mode == Some(len),
+            mode.map(|m| format!("/{m}"))
+                .unwrap_or_else(|| "none".into()),
+        ));
+    }
+    out.push(check(
+        "fig9",
+        "global inference spikes at /56",
+        a.global_inferred.mode() == Some(56),
+        a.global_inferred
+            .mode()
+            .map(|m| format!("/{m}"))
+            .unwrap_or_else(|| "none".into()),
+    ));
+
+    // --- CDN ---
+    let fixed: Vec<f64> = c
+        .runs
+        .iter()
+        .filter(|r| !r.mobile)
+        .map(|r| r.days as f64)
+        .collect();
+    let mobile: Vec<f64> = c
+        .runs
+        .iter()
+        .filter(|r| r.mobile)
+        .map(|r| r.days as f64)
+        .collect();
+    let f50 = quantile(&fixed, 0.5).unwrap_or(0.0);
+    let m50 = quantile(&mobile, 0.5).unwrap_or(f64::INFINITY);
+    out.push(check(
+        "fig3",
+        "fixed associations dwarf mobile at the median",
+        f50 >= 15.0 * m50,
+        format!("fixed {f50:.0}d vs mobile {m50:.0}d"),
+    ));
+    let mobile_peak = c.mobile_degree.weighted_peak(6, 2).unwrap_or(0.0);
+    let fixed_peak = c.fixed_degree.weighted_peak(6, 2).unwrap_or(f64::INFINITY);
+    out.push(check(
+        "fig4",
+        "mobile /24s multiplex orders of magnitude more /64s",
+        mobile_peak > 20.0 * fixed_peak,
+        format!("mobile {mobile_peak:.0} vs fixed {fixed_peak:.0}"),
+    ));
+    out.push(check(
+        "fig4",
+        "most mobile /64s associate with a single /24",
+        c.mobile_degree.p64_degree_one_fraction > 0.75,
+        format!("{:.0}%", 100.0 * c.mobile_degree.p64_degree_one_fraction),
+    ));
+    let inf = |r: Rir| {
+        c.nibble_by_rir
+            .get(&r)
+            .map(|n| n.inferable_fraction())
+            .unwrap_or(0.0)
+    };
+    out.push(check(
+        "fig7",
+        "LACNIC is the low-inferability outlier; RIPE & AFRINIC high",
+        inf(Rir::Lacnic) < 0.35 && inf(Rir::RipeNcc) > 0.55 && inf(Rir::Afrinic) > 0.55,
+        format!(
+            "LACNIC {:.0}%, RIPE {:.0}%, AFRINIC {:.0}%",
+            100.0 * inf(Rir::Lacnic),
+            100.0 * inf(Rir::RipeNcc),
+            100.0 * inf(Rir::Afrinic)
+        ),
+    ));
+    out.push(check(
+        "fig7",
+        "mobile /64s show no consistent trailing zeros",
+        c.mobile_nibble.inferable_fraction() < 0.15,
+        format!("{:.1}%", 100.0 * c.mobile_nibble.inferable_fraction()),
+    ));
+
+    out
+}
+
+/// Render the check table; the final line summarizes pass/fail counts.
+pub fn render(a: &AtlasAnalysis, c: &CdnAnalysis) -> String {
+    let checks = run_checks(a, c);
+    let mut t = TextTable::new(&["artifact", "shape", "measured", "result"]);
+    let mut passed = 0usize;
+    for ch in &checks {
+        if ch.pass {
+            passed += 1;
+        }
+        t.row(&[
+            ch.artifact.to_string(),
+            ch.shape.clone(),
+            ch.measured.clone(),
+            if ch.pass { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    format!(
+        "Paper-shape self-check ({} of {} shapes hold):\n\n{}",
+        passed,
+        checks.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentConfig;
+
+    #[test]
+    fn shape_checks_pass_at_reference_scale() {
+        let cfg = ExperimentConfig {
+            seed: 2020,
+            atlas_scale: 0.2,
+            cdn_scale: 0.15,
+        };
+        let a = AtlasAnalysis::compute(&cfg);
+        let c = CdnAnalysis::compute(&cfg);
+        let checks = run_checks(&a, &c);
+        assert!(checks.len() >= 18);
+        let failures: Vec<String> = checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| format!("{}: {} ({})", c.artifact, c.shape, c.measured))
+            .collect();
+        assert!(failures.is_empty(), "failed shapes:\n{}", failures.join("\n"));
+        let text = render(&a, &c);
+        assert!(text.contains("PASS"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Shared analysis products for the experiment harness.
+
+use dynamips_atlas::{AtlasCollector, AtlasConfig};
+use dynamips_cdn::{CdnCollector, CdnConfig};
+use dynamips_core::association::{association_runs, AssociationRun};
+use dynamips_core::cardinality::{degree_stats, DegreeStats};
+use dynamips_core::changes::sandwiched_durations;
+use dynamips_core::dualstack::{co_occurrence, labeled_v4_durations, CoOccurrence};
+use dynamips_core::durations::{detect_period, DurationSet};
+use dynamips_core::pools::PoolAccumulator;
+use dynamips_core::sanitize::{sanitize_probe, SanitizeConfig, SanitizeOutcome, SanitizeReport};
+use dynamips_core::spatial::{CplHistogram, CrossingStats};
+use dynamips_core::subscriber::{InferredLenDistribution, NibbleCounter};
+use dynamips_netsim::profiles::{atlas_world, cdn_world};
+use dynamips_netsim::time::Window;
+use dynamips_routing::{Asn, Rir};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Harness configuration: seed and dataset scales.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Master seed for world construction and collection.
+    pub seed: u64,
+    /// Probe-count scale for the Atlas world (1.0 = the paper's Table-1
+    /// probe counts).
+    pub atlas_scale: f64,
+    /// Subscriber-count scale for the CDN world.
+    pub cdn_scale: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 20201201, // CoNEXT'20 opening day
+            atlas_scale: 1.0,
+            cdn_scale: 1.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small configuration for tests (seconds, not minutes).
+    pub fn small(seed: u64) -> Self {
+        ExperimentConfig {
+            seed,
+            atlas_scale: 0.06,
+            cdn_scale: 0.04,
+        }
+    }
+}
+
+/// Everything the Atlas-derived artifacts need, per AS.
+#[derive(Debug, Default)]
+pub struct AsStats {
+    /// Operator name.
+    pub name: String,
+    /// Country label.
+    pub country: String,
+    /// Clean (virtual) probes observed in this AS.
+    pub probes: usize,
+    /// Clean probes classified dual-stack.
+    pub ds_probes: usize,
+    /// v4 changes over all clean probes.
+    pub v4_changes_all: u64,
+    /// v4 changes over dual-stack probes.
+    pub v4_changes_ds: u64,
+    /// v6 changes over dual-stack probes.
+    pub v6_changes: u64,
+    /// Sandwiched v4 durations on non-dual-stack assignments.
+    pub v4_durations_nds: DurationSet,
+    /// Sandwiched v4 durations on dual-stack assignments.
+    pub v4_durations_ds: DurationSet,
+    /// Sandwiched v6 /64 durations.
+    pub v6_durations: DurationSet,
+    /// v4/v6 change co-occurrence counters.
+    pub cooccurrence: CoOccurrence,
+    /// CPL histogram between successive /64 assignments.
+    pub cpl: CplHistogram,
+    /// Cross-/24 and cross-BGP counters.
+    pub crossing: CrossingStats,
+    /// Unique-prefix-per-length accumulator (probes with ≥ 1 v6 change).
+    pub pools: PoolAccumulator,
+    /// Inferred subscriber prefix lengths (probes with ≥ 1 v6 change).
+    pub inferred: InferredLenDistribution,
+}
+
+/// The full Atlas-side analysis.
+pub struct AtlasAnalysis {
+    /// Per-AS accumulators.
+    pub per_as: BTreeMap<Asn, AsStats>,
+    /// Sanitizer accounting.
+    pub sanitize: SanitizeReport,
+    /// Inferred subscriber prefix lengths over all probes (Figure 9).
+    pub global_inferred: InferredLenDistribution,
+    /// The collection window.
+    pub window: Window,
+}
+
+/// Coverage threshold for calling an assignment/probe dual-stack.
+const DS_COVERAGE: f64 = 0.8;
+
+impl AtlasAnalysis {
+    /// Build the Atlas world, collect every probe, sanitize, accumulate.
+    pub fn compute(cfg: &ExperimentConfig) -> AtlasAnalysis {
+        let world = atlas_world(cfg.seed, cfg.atlas_scale);
+        let window = Window::atlas_paper();
+        let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
+        let sanitize_cfg = SanitizeConfig::default();
+
+        let mut per_as: BTreeMap<Asn, AsStats> = BTreeMap::new();
+        for isp in world.isps() {
+            let entry = per_as.entry(isp.asn).or_default();
+            entry.name = isp.name.clone();
+            entry.country = isp.country.clone();
+        }
+        let mut report = SanitizeReport::default();
+        let mut global_inferred = InferredLenDistribution::new();
+        let routing = world.routing();
+
+        collector.for_each_probe(|series| {
+            let outcome = sanitize_probe(&series, routing, &sanitize_cfg, &mut report);
+            let SanitizeOutcome::Clean(histories) = outcome else {
+                return;
+            };
+            for h in &histories {
+                let stats = per_as.entry(h.asn).or_default();
+                stats.probes += 1;
+                let ds = h.is_dual_stack(DS_COVERAGE);
+                if ds {
+                    stats.ds_probes += 1;
+                }
+
+                // Change counts (Table 1).
+                let v4_changes = h.v4.len().saturating_sub(1) as u64;
+                let v6_changes = h.v6.len().saturating_sub(1) as u64;
+                stats.v4_changes_all += v4_changes;
+                if ds {
+                    stats.v4_changes_ds += v4_changes;
+                    stats.v6_changes += v6_changes;
+                }
+
+                // Durations (Figure 1).
+                for d in labeled_v4_durations(h, DS_COVERAGE) {
+                    if d.dual_stack {
+                        stats.v4_durations_ds.push(d.hours);
+                    } else {
+                        stats.v4_durations_nds.push(d.hours);
+                    }
+                }
+                stats.v6_durations.extend(sandwiched_durations(&h.v6));
+
+                // Interplay (Section 3.2).
+                if ds {
+                    stats.cooccurrence.merge(&co_occurrence(h));
+                }
+
+                // Spatial (Figure 5, Table 2).
+                stats.cpl.add_probe(h);
+                stats.crossing.add_probe(h, routing);
+
+                // Pools and subscriber boundaries (Figures 6, 8, 9) —
+                // probes with at least one v6 assignment change.
+                if v6_changes >= 1 {
+                    stats.pools.add_probe(h, routing);
+                    stats.inferred.add_probe(h);
+                    global_inferred.add_probe(h);
+                }
+            }
+        });
+
+        AtlasAnalysis {
+            per_as,
+            sanitize: report,
+            global_inferred,
+            window,
+        }
+    }
+
+    /// Stats for an AS by operator name.
+    pub fn by_name(&self, name: &str) -> Option<(&Asn, &AsStats)> {
+        self.per_as.iter().find(|(_, s)| s.name == name)
+    }
+
+    /// ASes with detected consistent periodic renumbering (non-dual-stack
+    /// IPv4 durations), with the detected period in hours.
+    pub fn periodic_v4_ases(&self) -> Vec<(Asn, u64)> {
+        self.per_as
+            .iter()
+            .filter_map(|(asn, s)| {
+                detect_period(&s.v4_durations_nds, 0.05, 0.5).map(|p| (*asn, p.period_hours))
+            })
+            .collect()
+    }
+
+    /// ASes with detected consistent periodic IPv6 renumbering.
+    pub fn periodic_v6_ases(&self) -> Vec<(Asn, u64)> {
+        self.per_as
+            .iter()
+            .filter_map(|(asn, s)| {
+                detect_period(&s.v6_durations, 0.05, 0.5).map(|p| (*asn, p.period_hours))
+            })
+            .collect()
+    }
+}
+
+/// The full CDN-side analysis.
+pub struct CdnAnalysis {
+    /// Pre-processing accounting: raw, kept, AS-mismatch discards.
+    pub raw_count: u64,
+    /// Retained tuples.
+    pub kept_count: u64,
+    /// AS-mismatch discards.
+    pub discarded: u64,
+    /// Unique /64 count.
+    pub unique_p64: usize,
+    /// Fraction of unique /64s from cellular networks.
+    pub mobile_p64_fraction: f64,
+    /// Association runs.
+    pub runs: Vec<AssociationRun>,
+    /// Degree stats for fixed networks.
+    pub fixed_degree: DegreeStats,
+    /// Degree stats for mobile networks.
+    pub mobile_degree: DegreeStats,
+    /// Figure-7 nibble counters per RIR over unique *fixed* /64s.
+    pub nibble_by_rir: BTreeMap<Rir, NibbleCounter>,
+    /// Nibble counter over unique mobile /64s (the paper: "no evidence of
+    /// consistent trailing zeroes").
+    pub mobile_nibble: NibbleCounter,
+    /// Association durations (days) grouped by AS.
+    pub by_asn_days: HashMap<Asn, Vec<f64>>,
+    /// ASN → (name, RIR) resolution for rendering.
+    pub as_meta: HashMap<Asn, (String, Rir)>,
+}
+
+/// Maximum unobserved days before a /64 is considered gone (association-run
+/// segmentation).
+const MAX_GAP_DAYS: u32 = 7;
+
+impl CdnAnalysis {
+    /// Build the CDN world, collect and pre-process associations, and run
+    /// all CDN-side analyses.
+    pub fn compute(cfg: &ExperimentConfig) -> CdnAnalysis {
+        let world = cdn_world(cfg.seed, cfg.cdn_scale);
+        let window = Window::cdn_paper();
+        let dataset = CdnCollector::new(&world, window, CdnConfig::default()).collect();
+
+        let runs = association_runs(&dataset, MAX_GAP_DAYS);
+        let (fixed_degree, mobile_degree) = degree_stats(&dataset);
+
+        // Unique-/64 trailing-zero classification per RIR (fixed) and
+        // overall (mobile).
+        let rirs = world.rirs();
+        let mut nibble_by_rir: BTreeMap<Rir, NibbleCounter> = BTreeMap::new();
+        let mut mobile_nibble = NibbleCounter::default();
+        let mut seen: HashSet<u128> = HashSet::new();
+        for t in &dataset.tuples {
+            if !seen.insert(t.p64.bits()) {
+                continue;
+            }
+            if t.mobile {
+                mobile_nibble.add(&t.p64);
+            } else if let Some(rir) = rirs.rir_of_v6_prefix(&t.p64) {
+                nibble_by_rir.entry(rir).or_default().add(&t.p64);
+            }
+        }
+
+        let by_asn_days = dynamips_core::association::durations_by_asn(&runs);
+        let as_meta = world
+            .registry()
+            .iter()
+            .map(|i| (i.asn, (i.name.clone(), i.rir)))
+            .collect();
+
+        CdnAnalysis {
+            raw_count: dataset.raw_count,
+            kept_count: dataset.len() as u64,
+            discarded: dataset.discarded_as_mismatch,
+            unique_p64: dataset.unique_p64_count(),
+            mobile_p64_fraction: dataset.mobile_p64_fraction(),
+            runs,
+            fixed_degree,
+            mobile_degree,
+            nibble_by_rir,
+            mobile_nibble,
+            by_asn_days,
+            as_meta,
+        }
+    }
+
+    /// Resolve an AS by operator name.
+    pub fn asn_by_name(&self, name: &str) -> Option<Asn> {
+        self.as_meta
+            .iter()
+            .find(|(_, (n, _))| n == name)
+            .map(|(a, _)| *a)
+    }
+
+    /// RIR resolver closure for the Figure-3 grouping.
+    pub fn rir_of(&self, asn: Asn) -> Option<Rir> {
+        self.as_meta.get(&asn).map(|(_, r)| *r)
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! The heavy lifting happens once per dataset:
+//!
+//! * [`context::AtlasAnalysis`] runs the Atlas-era world, streams every
+//!   probe through the sanitizer and accumulates everything the
+//!   Atlas-derived artifacts need (Tables 1–2, Figures 1, 5, 6, 8, 9).
+//! * [`context::CdnAnalysis`] runs the CDN-era world, collects the
+//!   association dataset and accumulates the CDN artifacts (Figures 2–4, 7).
+//!
+//! Each `table*`/`fig*` module renders one artifact from those products as
+//! plain text in the paper's layout.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod atlas_exps;
+pub mod cdn_exps;
+pub mod check;
+pub mod claims;
+pub mod context;
+pub mod extended;
+
+pub use context::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};

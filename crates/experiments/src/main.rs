@@ -1,0 +1,174 @@
+//! `dynamips` — regenerate the paper's tables and figures from simulation.
+//!
+//! ```text
+//! dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...
+//! dynamips all            # everything
+//! dynamips table1 fig5    # a subset
+//! ```
+
+use dynamips_experiments::{
+    atlas_exps, cdn_exps, check, claims, extended, AtlasAnalysis, CdnAnalysis, ExperimentConfig,
+};
+
+const ATLAS_ARTIFACTS: [&str; 7] = ["table1", "fig1", "fig5", "fig6", "fig8", "fig9", "table2"];
+const CDN_ARTIFACTS: [&str; 4] = ["fig2", "fig3", "fig4", "fig7"];
+const EXTENDED_ARTIFACTS: [&str; 9] = [
+    "evolution",
+    "pools",
+    "scanplan",
+    "targetgen",
+    "tracking",
+    "counting",
+    "anonymize",
+    "blocklist",
+    "sanitizer",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...\n\
+         artifacts: {} {} claims check all\n\
+         extended:  {} (run their own focused worlds)\n\
+         datasets:  dump-atlas <path> | dump-cdn <path>\n\
+         options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
+         extra:     seeds (robustness across seeds; not part of `all`)",
+        ATLAS_ARTIFACTS.join(" "),
+        CDN_ARTIFACTS.join(" "),
+        EXTENDED_ARTIFACTS.join(" "),
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ExperimentConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_dir = Some(args.next().map(Into::into).unwrap_or_else(|| usage())),
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--atlas-scale" => {
+                cfg.atlas_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cdn-scale" => {
+                cfg.cdn_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = ATLAS_ARTIFACTS
+            .iter()
+            .chain(CDN_ARTIFACTS.iter())
+            .map(|s| s.to_string())
+            .chain(std::iter::once("claims".to_string()))
+            .chain(std::iter::once("check".to_string()))
+            .chain(EXTENDED_ARTIFACTS.iter().map(|s| s.to_string()))
+            .collect();
+    }
+
+    // Dataset dumps take a path operand and short-circuit.
+    if wanted[0] == "dump-atlas" || wanted[0] == "dump-cdn" {
+        let Some(path) = wanted.get(1) else { usage() };
+        let result = if wanted[0] == "dump-atlas" {
+            extended::dump_atlas(&cfg, std::path::Path::new(path))
+        } else {
+            extended::dump_cdn(&cfg, std::path::Path::new(path))
+        };
+        match result {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("dump failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let needs_atlas = wanted
+        .iter()
+        .any(|w| ATLAS_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
+    let needs_cdn = wanted
+        .iter()
+        .any(|w| CDN_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
+
+    let atlas = needs_atlas.then(|| {
+        eprintln!(
+            "[dynamips] computing Atlas analysis (seed {}, scale {})...",
+            cfg.seed, cfg.atlas_scale
+        );
+        AtlasAnalysis::compute(&cfg)
+    });
+    let cdn = needs_cdn.then(|| {
+        eprintln!(
+            "[dynamips] computing CDN analysis (seed {}, scale {})...",
+            cfg.seed, cfg.cdn_scale
+        );
+        CdnAnalysis::compute(&cfg)
+    });
+
+    for artifact in &wanted {
+        let text = match artifact.as_str() {
+            "table1" => atlas_exps::table1(atlas.as_ref().expect("atlas computed")),
+            "fig1" => atlas_exps::fig1(atlas.as_ref().expect("atlas computed")),
+            "fig5" => atlas_exps::fig5(atlas.as_ref().expect("atlas computed")),
+            "fig6" => atlas_exps::fig6(atlas.as_ref().expect("atlas computed")),
+            "fig8" => atlas_exps::fig8(atlas.as_ref().expect("atlas computed")),
+            "fig9" => atlas_exps::fig9(atlas.as_ref().expect("atlas computed")),
+            "table2" => atlas_exps::table2(atlas.as_ref().expect("atlas computed")),
+            "fig2" => cdn_exps::fig2(cdn.as_ref().expect("cdn computed")),
+            "fig3" => cdn_exps::fig3(cdn.as_ref().expect("cdn computed")),
+            "fig4" => cdn_exps::fig4(cdn.as_ref().expect("cdn computed")),
+            "fig7" => cdn_exps::fig7(cdn.as_ref().expect("cdn computed")),
+            "claims" => claims::render(
+                atlas.as_ref().expect("atlas computed"),
+                cdn.as_ref().expect("cdn computed"),
+            ),
+            "check" => check::render(
+                atlas.as_ref().expect("atlas computed"),
+                cdn.as_ref().expect("cdn computed"),
+            ),
+            "evolution" => extended::evolution(&cfg),
+            "pools" => extended::pool_boundaries(&cfg),
+            "scanplan" => extended::scan_plans(&cfg),
+            "targetgen" => extended::target_generation(&cfg),
+            "tracking" => extended::tracking_report(&cfg),
+            "anonymize" => extended::anonymize_audit(&cfg),
+            "blocklist" => extended::blocklist_sweep(&cfg),
+            "sanitizer" => extended::sanitizer_report(&cfg),
+            "counting" => extended::counting_report(&cfg),
+            "seeds" => extended::seed_robustness(&cfg),
+            other => {
+                eprintln!("unknown artifact {other:?}");
+                usage();
+            }
+        };
+        println!("{}", "=".repeat(72));
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{artifact}.txt")), &text))
+            {
+                eprintln!("failed to write {artifact}.txt: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

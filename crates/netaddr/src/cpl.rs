@@ -1,0 +1,103 @@
+//! Common-prefix-length (CPL) arithmetic.
+//!
+//! Section 5.2 of the paper measures the spatial distance between two
+//! successive /64 assignments to the same subscriber as the number of leading
+//! bits the two prefixes share ("Common Prefix Length"). For the example in
+//! the paper, `2604:3d08:4b80:aa00::/64` and `2604:3d08:4b80:aaf0::/64`
+//! share 56 bits.
+
+use crate::v4::Ipv4Prefix;
+use crate::v6::Ipv6Prefix;
+
+/// Number of leading bits two IPv6 prefixes share, capped at the shorter of
+/// the two prefix lengths.
+///
+/// ```
+/// use dynamips_netaddr::{common_prefix_len_v6, Ipv6Prefix};
+///
+/// // The paper's own Section-5.2 example:
+/// let a: Ipv6Prefix = "2604:3d08:4b80:aa00::/64".parse().unwrap();
+/// let b: Ipv6Prefix = "2604:3d08:4b80:aaf0::/64".parse().unwrap();
+/// assert_eq!(common_prefix_len_v6(&a, &b), 56);
+/// ```
+pub fn common_prefix_len_v6(a: &Ipv6Prefix, b: &Ipv6Prefix) -> u8 {
+    let xor = a.bits() ^ b.bits();
+    let shared = xor.leading_zeros() as u8;
+    shared.min(a.len()).min(b.len())
+}
+
+/// Number of leading bits two IPv4 prefixes share, capped at the shorter of
+/// the two prefix lengths.
+pub fn common_prefix_len_v4(a: &Ipv4Prefix, b: &Ipv4Prefix) -> u8 {
+    let xor = a.bits() ^ b.bits();
+    let shared = xor.leading_zeros() as u8;
+    shared.min(a.len()).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_example_is_56() {
+        // Direct example from Section 5.2.
+        let a = p6("2604:3d08:4b80:aa00::/64");
+        let b = p6("2604:3d08:4b80:aaf0::/64");
+        assert_eq!(common_prefix_len_v6(&a, &b), 56);
+    }
+
+    #[test]
+    fn identical_prefixes_share_their_full_length() {
+        let a = p6("2001:db8:1:2::/64");
+        assert_eq!(common_prefix_len_v6(&a, &a), 64);
+        let b = p6("2001:db8::/32");
+        assert_eq!(common_prefix_len_v6(&b, &b), 32);
+    }
+
+    #[test]
+    fn disjoint_top_bits_share_nothing() {
+        let a = p6("2001::/64");
+        let b = p6("a001::/64");
+        assert_eq!(common_prefix_len_v6(&a, &b), 0);
+    }
+
+    #[test]
+    fn capped_by_shorter_length() {
+        // Same bits, but one prefix is only /32 long: the CPL cannot exceed 32.
+        let a = p6("2001:db8::/32");
+        let b = p6("2001:db8:0:1::/64");
+        assert_eq!(common_prefix_len_v6(&a, &b), 32);
+    }
+
+    #[test]
+    fn v4_shared_bits() {
+        assert_eq!(
+            common_prefix_len_v4(&p4("10.0.0.0/24"), &p4("10.0.1.0/24")),
+            23
+        );
+        assert_eq!(
+            common_prefix_len_v4(&p4("10.0.0.0/24"), &p4("10.0.0.0/24")),
+            24
+        );
+        assert_eq!(
+            common_prefix_len_v4(&p4("0.0.0.0/8"), &p4("128.0.0.0/8")),
+            0
+        );
+    }
+
+    #[test]
+    fn differs_exactly_at_boundary() {
+        // Bit 40 differs (0x00 vs 0x80 in the 6th byte).
+        let a = p6("2001:db8:0:0::/64");
+        let b = p6("2001:db8:80:0::/64");
+        assert_eq!(common_prefix_len_v6(&a, &b), 40);
+    }
+}

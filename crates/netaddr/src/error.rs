@@ -1,0 +1,37 @@
+//! Error types for prefix construction and parsing.
+
+use std::fmt;
+
+/// Errors raised when constructing or parsing a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The prefix length exceeds the maximum for the address family
+    /// (32 for IPv4, 128 for IPv6).
+    LengthOutOfRange {
+        /// The offending length.
+        len: u8,
+        /// The maximum valid length for the family.
+        max: u8,
+    },
+    /// The address has bits set below the prefix length (i.e. host bits),
+    /// and the constructor required a canonical network address.
+    HostBitsSet,
+    /// The textual form could not be parsed as `addr/len`.
+    Malformed(String),
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} out of range (max {max})")
+            }
+            PrefixError::HostBitsSet => {
+                write!(f, "address has host bits set below the prefix length")
+            }
+            PrefixError::Malformed(s) => write!(f, "malformed prefix: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}

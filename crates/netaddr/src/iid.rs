@@ -1,0 +1,114 @@
+//! Interface identifiers (the 64-bit "host" component of an IPv6 address).
+//!
+//! The paper distinguishes EUI-64 identifiers — derived from the device MAC
+//! address, stable, and therefore trackable across network renumbering
+//! (Section 2.3) — from privacy identifiers regenerated periodically per
+//! RFC 4941. RIPE Atlas probes intentionally use stable identifiers so they
+//! remain reachable measurement targets.
+
+use rand::Rng;
+
+/// How a device constructs the host component of its address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Iid {
+    /// EUI-64: derived from the link-layer (MAC) address; stable for the
+    /// lifetime of the interface hardware.
+    Eui64(u64),
+    /// RFC 4941 privacy extension: random, regenerated periodically.
+    Privacy(u64),
+    /// Statically configured or DHCPv6-assigned identifier.
+    Stable(u64),
+}
+
+impl Iid {
+    /// The raw 64-bit identifier.
+    pub fn value(&self) -> u64 {
+        match self {
+            Iid::Eui64(v) | Iid::Privacy(v) | Iid::Stable(v) => *v,
+        }
+    }
+
+    /// Whether this identifier is stable across renumbering events, making
+    /// the device trackable across network address changes.
+    pub fn is_stable(&self) -> bool {
+        !matches!(self, Iid::Privacy(_))
+    }
+}
+
+/// Derive a (modified) EUI-64 interface identifier from a 48-bit MAC address:
+/// flip the universal/local bit and insert `ff:fe` in the middle (RFC 4291
+/// Appendix A).
+pub fn eui64_from_mac(mac: [u8; 6]) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[0] = mac[0] ^ 0x02; // flip the U/L bit
+    bytes[1] = mac[1];
+    bytes[2] = mac[2];
+    bytes[3] = 0xff;
+    bytes[4] = 0xfe;
+    bytes[5] = mac[3];
+    bytes[6] = mac[4];
+    bytes[7] = mac[5];
+    u64::from_be_bytes(bytes)
+}
+
+/// Check whether a 64-bit identifier has the EUI-64 shape (the `ff:fe`
+/// marker in bytes 3 and 4). Used by analyses that detect trackable devices.
+pub fn looks_like_eui64(iid: u64) -> bool {
+    let bytes = iid.to_be_bytes();
+    bytes[3] == 0xff && bytes[4] == 0xfe
+}
+
+/// Generate a random RFC 4941 privacy interface identifier. The universal/
+/// local bit is cleared, as required for randomly generated identifiers.
+pub fn privacy_iid<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let raw: u64 = rng.gen();
+    // Clear the universal bit (bit 6 of the first byte, i.e. bit 57 counting
+    // from the least-significant end of the big-endian u64).
+    raw & !(0x02u64 << 56)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eui64_construction() {
+        // Canonical example: MAC 00:25:96:12:34:56 -> 0225:96ff:fe12:3456.
+        let iid = eui64_from_mac([0x00, 0x25, 0x96, 0x12, 0x34, 0x56]);
+        assert_eq!(iid, 0x0225_96ff_fe12_3456);
+    }
+
+    #[test]
+    fn eui64_flips_ul_bit_both_ways() {
+        let set = eui64_from_mac([0x02, 0, 0, 0, 0, 0]);
+        assert_eq!(set >> 56, 0x00);
+        let clear = eui64_from_mac([0x00, 0, 0, 0, 0, 0]);
+        assert_eq!(clear >> 56, 0x02);
+    }
+
+    #[test]
+    fn eui64_detection() {
+        assert!(looks_like_eui64(eui64_from_mac([1, 2, 3, 4, 5, 6])));
+        assert!(!looks_like_eui64(0x1234_5678_9abc_def0));
+    }
+
+    #[test]
+    fn privacy_iids_differ_and_clear_universal_bit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = privacy_iid(&mut rng);
+        let b = privacy_iid(&mut rng);
+        assert_ne!(a, b);
+        assert_eq!(a & (0x02u64 << 56), 0);
+        assert_eq!(b & (0x02u64 << 56), 0);
+    }
+
+    #[test]
+    fn stability_classification() {
+        assert!(Iid::Eui64(1).is_stable());
+        assert!(Iid::Stable(1).is_stable());
+        assert!(!Iid::Privacy(1).is_stable());
+        assert_eq!(Iid::Privacy(42).value(), 42);
+    }
+}

@@ -1,0 +1,157 @@
+//! Address and prefix pools.
+//!
+//! Section 2.2 of the paper: "ISPs have pools of addresses or prefixes from
+//! which addresses are assigned to subscribers by a DHCP/RADIUS server that
+//! is responsible for these pools." These types map between a pool's index
+//! space and concrete addresses/prefixes; the allocation *policy* (which
+//! index to hand out) lives in `dynamips-netsim`.
+
+use crate::error::PrefixError;
+use crate::v4::Ipv4Prefix;
+use crate::v6::Ipv6Prefix;
+use std::net::Ipv4Addr;
+
+/// A pool of individual IPv4 addresses drawn from one covering prefix —
+/// e.g. the block a BRAS hands out via DHCP/RADIUS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Pool {
+    base: Ipv4Prefix,
+}
+
+impl Ipv4Pool {
+    /// Create a pool covering every address in `base`.
+    pub fn new(base: Ipv4Prefix) -> Self {
+        Ipv4Pool { base }
+    }
+
+    /// The covering prefix.
+    pub fn base(&self) -> Ipv4Prefix {
+        self.base
+    }
+
+    /// Number of addresses in the pool.
+    pub fn capacity(&self) -> u64 {
+        self.base.num_addresses()
+    }
+
+    /// The `index`-th address in the pool.
+    pub fn address(&self, index: u64) -> Result<Ipv4Addr, PrefixError> {
+        self.base.nth_address(index)
+    }
+
+    /// The index of `addr` within the pool, if it belongs to the pool.
+    pub fn index_of(&self, addr: Ipv4Addr) -> Option<u64> {
+        if self.base.contains(addr) {
+            Some((u32::from(addr) - self.base.bits()) as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// A pool of fixed-length IPv6 prefixes drawn from one covering prefix —
+/// e.g. the /40 regional block out of which an ISP delegates /56s
+/// (Section 5.2: "for many ISPs, a /40 emerges as a common size for dynamic
+/// address pools").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6PrefixPool {
+    base: Ipv6Prefix,
+    elem_len: u8,
+}
+
+impl Ipv6PrefixPool {
+    /// Create a pool of `elem_len`-long prefixes inside `base`.
+    pub fn new(base: Ipv6Prefix, elem_len: u8) -> Result<Self, PrefixError> {
+        if elem_len < base.len() || elem_len > Ipv6Prefix::MAX_LEN {
+            return Err(PrefixError::LengthOutOfRange {
+                len: elem_len,
+                max: Ipv6Prefix::MAX_LEN,
+            });
+        }
+        Ok(Ipv6PrefixPool { base, elem_len })
+    }
+
+    /// The covering prefix.
+    pub fn base(&self) -> Ipv6Prefix {
+        self.base
+    }
+
+    /// The length of each delegated prefix.
+    pub fn elem_len(&self) -> u8 {
+        self.elem_len
+    }
+
+    /// Number of prefixes in the pool (saturating at `u64::MAX`).
+    pub fn capacity(&self) -> u64 {
+        self.base
+            .num_subprefixes(self.elem_len)
+            .expect("elem_len validated at construction")
+    }
+
+    /// The `index`-th prefix in the pool.
+    pub fn prefix(&self, index: u64) -> Result<Ipv6Prefix, PrefixError> {
+        self.base.nth_subprefix(self.elem_len, index)
+    }
+
+    /// The index of `prefix` within the pool, if it is a pool element.
+    pub fn index_of(&self, prefix: &Ipv6Prefix) -> Option<u64> {
+        if prefix.len() != self.elem_len || !self.base.contains_prefix(prefix) {
+            return None;
+        }
+        let shift = 128 - self.elem_len as u32;
+        Some(((prefix.bits() - self.base.bits()) >> shift) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn v4_pool_round_trip() {
+        let pool = Ipv4Pool::new(p4("100.64.0.0/22"));
+        assert_eq!(pool.capacity(), 1024);
+        let a = pool.address(300).unwrap();
+        assert_eq!(pool.index_of(a), Some(300));
+        assert_eq!(pool.index_of(Ipv4Addr::new(1, 1, 1, 1)), None);
+        assert!(pool.address(1024).is_err());
+    }
+
+    #[test]
+    fn v6_pool_round_trip() {
+        // A /40 pool of /56 delegations: 2^16 elements.
+        let pool = Ipv6PrefixPool::new(p6("2003:40::/40"), 56).unwrap();
+        assert_eq!(pool.capacity(), 1 << 16);
+        let d = pool.prefix(0xaa).unwrap();
+        assert_eq!(d, p6("2003:40:0:aa00::/56"));
+        assert_eq!(pool.index_of(&d), Some(0xaa));
+        assert!(pool.prefix(1 << 16).is_err());
+    }
+
+    #[test]
+    fn v6_pool_rejects_foreign_prefixes() {
+        let pool = Ipv6PrefixPool::new(p6("2003:40::/40"), 56).unwrap();
+        // Wrong length.
+        assert_eq!(pool.index_of(&p6("2003:40::/64")), None);
+        // Outside the base.
+        assert_eq!(pool.index_of(&p6("2a00::/56")), None);
+    }
+
+    #[test]
+    fn v6_pool_validates_elem_len() {
+        assert!(Ipv6PrefixPool::new(p6("2003:40::/40"), 32).is_err());
+        assert!(Ipv6PrefixPool::new(p6("2003:40::/40"), 129).is_err());
+        // elem_len == base len: a pool of exactly one prefix.
+        let single = Ipv6PrefixPool::new(p6("2003:40::/40"), 40).unwrap();
+        assert_eq!(single.capacity(), 1);
+        assert_eq!(single.prefix(0).unwrap(), p6("2003:40::/40"));
+    }
+}

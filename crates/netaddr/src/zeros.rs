@@ -1,0 +1,151 @@
+//! Trailing-zero analysis for subscriber-boundary inference.
+//!
+//! Section 5.3 of the paper infers the prefix length delegated to an
+//! individual subscriber by looking at zero bits immediately preceding the
+//! /64 boundary of observed prefixes: a CPE that receives, say, a /56
+//! delegation and announces the lowest-numbered /64 will produce /64s whose
+//! last 8 network bits are zero.
+//!
+//! Two variants are used in the paper:
+//!
+//! * The RIPE Atlas variant counts individual zero *bits* consistently zero
+//!   across all /64s observed by one probe ([`trailing_zero_bits_v6`] is the
+//!   per-prefix building block).
+//! * The CDN variant classifies each /64 by its longest streak of zero
+//!   *nibbles* against the /48, /52, /56 and /60 boundaries
+//!   ([`nibble_boundary_class`]).
+
+use crate::v6::Ipv6Prefix;
+
+/// Number of consecutive zero bits immediately to the left of the /64
+/// boundary in a /64 prefix (i.e. trailing zeros of the 64-bit network part).
+///
+/// Returns 64 for the all-zero network part. For prefixes shorter than /64
+/// the prefix is treated as its canonical /64 (host bits of the network part
+/// are already zero by construction).
+pub fn trailing_zero_bits_v6(prefix: &Ipv6Prefix) -> u8 {
+    let network = (prefix.bits() >> 64) as u64;
+    if network == 0 {
+        64
+    } else {
+        network.trailing_zeros() as u8
+    }
+}
+
+/// Nibble-aligned delegated-prefix boundary classes used by the CDN analysis
+/// (Figure 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NibbleBoundary {
+    /// At least 16 trailing zero bits: consistent with a /48 delegation.
+    Slash48,
+    /// 12–15 trailing zero bits: consistent with a /52 delegation.
+    Slash52,
+    /// 8–11 trailing zero bits: consistent with a /56 delegation.
+    Slash56,
+    /// 4–7 trailing zero bits: consistent with a /60 delegation.
+    Slash60,
+    /// Fewer than 4 trailing zero bits: no inferable delegation.
+    None,
+}
+
+impl NibbleBoundary {
+    /// The inferred delegated prefix length, if any.
+    pub fn prefix_len(&self) -> Option<u8> {
+        match self {
+            NibbleBoundary::Slash48 => Some(48),
+            NibbleBoundary::Slash52 => Some(52),
+            NibbleBoundary::Slash56 => Some(56),
+            NibbleBoundary::Slash60 => Some(60),
+            NibbleBoundary::None => None,
+        }
+    }
+
+    /// All classes with an inferable boundary, shortest first.
+    pub const INFERABLE: [NibbleBoundary; 4] = [
+        NibbleBoundary::Slash48,
+        NibbleBoundary::Slash52,
+        NibbleBoundary::Slash56,
+        NibbleBoundary::Slash60,
+    ];
+}
+
+/// Classify a /64 prefix by its longest streak of trailing zero nibbles, as
+/// the CDN analysis in Section 5.3 does ("an address with the last 8 bits as
+/// zeros would match the /56 boundary").
+pub fn nibble_boundary_class(prefix: &Ipv6Prefix) -> NibbleBoundary {
+    let zeros = trailing_zero_bits_v6(prefix);
+    match zeros {
+        z if z >= 16 => NibbleBoundary::Slash48,
+        z if z >= 12 => NibbleBoundary::Slash52,
+        z if z >= 8 => NibbleBoundary::Slash56,
+        z if z >= 4 => NibbleBoundary::Slash60,
+        _ => NibbleBoundary::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_suffix_counts() {
+        assert_eq!(trailing_zero_bits_v6(&p("2001:db8:1:100::/64")), 8);
+        assert_eq!(trailing_zero_bits_v6(&p("2001:db8:1:1::/64")), 0);
+        assert_eq!(trailing_zero_bits_v6(&p("2001:db8:1::/64")), 16);
+        assert_eq!(trailing_zero_bits_v6(&p("2001:db8:1:8000::/64")), 15);
+    }
+
+    #[test]
+    fn all_zero_network_part() {
+        assert_eq!(trailing_zero_bits_v6(&p("::/64")), 64);
+    }
+
+    #[test]
+    fn boundary_classification() {
+        // 16 zero bits -> /48
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1::/64")),
+            NibbleBoundary::Slash48
+        );
+        // 12 zero bits -> /52
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1:1000::/64")),
+            NibbleBoundary::Slash52
+        );
+        // 8 zero bits -> /56
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1:1100::/64")),
+            NibbleBoundary::Slash56
+        );
+        // 4 zero bits -> /60
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1:1110::/64")),
+            NibbleBoundary::Slash60
+        );
+        // 0 zero bits -> none
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1:1111::/64")),
+            NibbleBoundary::None
+        );
+    }
+
+    #[test]
+    fn non_nibble_aligned_zero_counts_round_down() {
+        // 7 zero bits: only the /60 boundary (4 aligned zeros) matches.
+        assert_eq!(
+            nibble_boundary_class(&p("2001:db8:1:1180::/64")),
+            NibbleBoundary::Slash60
+        );
+    }
+
+    #[test]
+    fn boundary_prefix_lengths() {
+        assert_eq!(NibbleBoundary::Slash48.prefix_len(), Some(48));
+        assert_eq!(NibbleBoundary::Slash60.prefix_len(), Some(60));
+        assert_eq!(NibbleBoundary::None.prefix_len(), None);
+    }
+}

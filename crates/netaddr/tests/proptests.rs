@@ -1,0 +1,173 @@
+//! Property-based tests for the prefix primitives.
+
+use dynamips_netaddr::{
+    common_prefix_len_v4, common_prefix_len_v6, eui64_from_mac, trailing_zero_bits_v6, Ipv4Prefix,
+    Ipv4Trie, Ipv6Prefix, Ipv6PrefixPool, Ipv6Trie,
+};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(bits, len)| Ipv4Prefix::new_truncated(Ipv4Addr::from(bits), len).unwrap())
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128)
+        .prop_map(|(bits, len)| Ipv6Prefix::new_truncated(Ipv6Addr::from(bits), len).unwrap())
+}
+
+fn arb_v6_slash64() -> impl Strategy<Value = Ipv6Prefix> {
+    any::<u128>().prop_map(|bits| Ipv6Prefix::slash64_of(Ipv6Addr::from(bits)))
+}
+
+proptest! {
+    #[test]
+    fn v4_display_parse_round_trip(pfx in arb_v4_prefix()) {
+        let parsed: Ipv4Prefix = pfx.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, pfx);
+    }
+
+    #[test]
+    fn v6_display_parse_round_trip(pfx in arb_v6_prefix()) {
+        let parsed: Ipv6Prefix = pfx.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, pfx);
+    }
+
+    #[test]
+    fn v4_prefix_contains_its_network_and_last(pfx in arb_v4_prefix()) {
+        prop_assert!(pfx.contains(pfx.network()));
+        prop_assert!(pfx.contains(pfx.last_address()));
+    }
+
+    #[test]
+    fn v4_supernet_contains_original(pfx in arb_v4_prefix(), shorter in 0u8..=32) {
+        let shorter = shorter.min(pfx.len());
+        let sup = pfx.supernet(shorter).unwrap();
+        prop_assert!(sup.contains_prefix(&pfx));
+    }
+
+    #[test]
+    fn v6_supernet_contains_original(pfx in arb_v6_prefix(), shorter in 0u8..=128) {
+        let shorter = shorter.min(pfx.len());
+        let sup = pfx.supernet(shorter).unwrap();
+        prop_assert!(sup.contains_prefix(&pfx));
+    }
+
+    #[test]
+    fn cpl_v6_is_symmetric_and_bounded(a in arb_v6_prefix(), b in arb_v6_prefix()) {
+        let ab = common_prefix_len_v6(&a, &b);
+        let ba = common_prefix_len_v6(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= a.len().min(b.len()));
+    }
+
+    #[test]
+    fn cpl_v6_of_self_is_len(a in arb_v6_prefix()) {
+        prop_assert_eq!(common_prefix_len_v6(&a, &a), a.len());
+    }
+
+    #[test]
+    fn cpl_v6_shared_supernet_is_consistent(a in arb_v6_slash64(), b in arb_v6_slash64()) {
+        // If the CPL is c, both share their /c supernet, and (when c < 64)
+        // differ at bit c.
+        let c = common_prefix_len_v6(&a, &b);
+        prop_assert_eq!(a.supernet(c).unwrap(), b.supernet(c).unwrap());
+        if c < 64 {
+            prop_assert_ne!(a.supernet(c + 1).unwrap(), b.supernet(c + 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn cpl_v4_symmetric(a in arb_v4_prefix(), b in arb_v4_prefix()) {
+        prop_assert_eq!(common_prefix_len_v4(&a, &b), common_prefix_len_v4(&b, &a));
+    }
+
+    #[test]
+    fn v4_subprefix_round_trip(pfx in arb_v4_prefix(), sub in 0u8..=32, idx: u64) {
+        let sub = sub.max(pfx.len());
+        let count = pfx.num_subprefixes(sub).unwrap();
+        let idx = idx % count;
+        let child = pfx.nth_subprefix(sub, idx).unwrap();
+        prop_assert!(pfx.contains_prefix(&child));
+        prop_assert_eq!(child.supernet(pfx.len()).unwrap(), pfx);
+    }
+
+    #[test]
+    fn trailing_zeros_matches_reconstruction(pfx in arb_v6_slash64()) {
+        // Zeroing `z` trailing network bits must be a no-op, and (when z < 64)
+        // bit 64-z-1 from the left of the network part must be 1.
+        let z = trailing_zero_bits_v6(&pfx);
+        let network = (pfx.bits() >> 64) as u64;
+        if z < 64 {
+            prop_assert_eq!(network >> z << z, network);
+            prop_assert_eq!((network >> z) & 1, 1);
+        } else {
+            prop_assert_eq!(network, 0);
+        }
+    }
+
+    #[test]
+    fn eui64_preserves_low_bytes(mac: [u8; 6]) {
+        let iid = eui64_from_mac(mac).to_be_bytes();
+        prop_assert_eq!(iid[1], mac[1]);
+        prop_assert_eq!(iid[2], mac[2]);
+        prop_assert_eq!(iid[5], mac[3]);
+        prop_assert_eq!(iid[6], mac[4]);
+        prop_assert_eq!(iid[7], mac[5]);
+        prop_assert_eq!(iid[3], 0xff);
+        prop_assert_eq!(iid[4], 0xfe);
+    }
+
+    #[test]
+    fn v6_pool_index_round_trip(idx in 0u64..(1 << 16)) {
+        let pool = Ipv6PrefixPool::new("2003:40::/40".parse().unwrap(), 56).unwrap();
+        let pfx = pool.prefix(idx).unwrap();
+        prop_assert_eq!(pool.index_of(&pfx), Some(idx));
+    }
+
+    #[test]
+    fn v4_trie_lookup_agrees_with_linear_scan(
+        entries in proptest::collection::vec((arb_v4_prefix(), any::<u32>()), 1..40),
+        probe: u32,
+    ) {
+        let mut trie = Ipv4Trie::new();
+        // Last write wins for duplicate prefixes, in both implementations.
+        let mut linear: Vec<(Ipv4Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            linear.retain(|(q, _)| q != p);
+            linear.push((*p, *v));
+        }
+        let addr = Ipv4Addr::from(probe);
+        let expected = linear
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, *v));
+        let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn v6_trie_lookup_agrees_with_linear_scan(
+        entries in proptest::collection::vec((arb_v6_prefix(), any::<u32>()), 1..40),
+        probe: u128,
+    ) {
+        let mut trie = Ipv6Trie::new();
+        let mut linear: Vec<(Ipv6Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            linear.retain(|(q, _)| q != p);
+            linear.push((*p, *v));
+        }
+        let addr = Ipv6Addr::from(probe);
+        let expected = linear
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, *v));
+        let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,519 @@
+//! Per-ISP policy configuration.
+//!
+//! Every cause of assignment change the paper enumerates in Section 2.2 —
+//! periodic lease/session renumbering, CPE and infrastructure outages, and
+//! administrative renumbering — appears here as an explicit knob, as do the
+//! spatial-structure parameters (pool hierarchy, delegated prefix lengths,
+//! CPE /64-selection behaviour) that drive the Section 5 analyses.
+
+use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
+use dynamips_routing::{AccessType, Asn, Rir};
+
+/// IPv4 assignment policy of an ISP (or of a class of its subscribers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V4Policy {
+    /// DHCP with a persistent lease database: the CPE renews indefinitely
+    /// and keeps its address across short outages. Changes only happen when
+    /// an outage outlasts `lease_hours` (the server reclaims the lease) or
+    /// through infrastructure events. Comcast-like.
+    DhcpSticky {
+        /// Lease duration granted to CPEs.
+        lease_hours: u64,
+    },
+    /// RADIUS-style session addressing: the session ends every
+    /// `period_hours` (the configured SessionTimeout) and the server hands
+    /// out an arbitrary free address on reconnect. DTAG (24 h), Orange
+    /// (1 week), BT (2 weeks)-like. Any CPE reboot also renumbers.
+    PeriodicRenumber {
+        /// Session timeout.
+        period_hours: u64,
+        /// Multiplicative jitter applied to each period (0.0 = exact).
+        jitter: f64,
+    },
+    /// The subscriber sits behind carrier-grade NAT: its public IPv4 address
+    /// is one of the operator's CGNAT gateway addresses, re-picked per
+    /// attachment session. Cellular-operator-like.
+    CgnatShared {
+        /// Probability that a binding check (session start or periodic
+        /// mapping timeout) moves the subscriber to a different gateway
+        /// address (the paper infers a strong v6→v4 affinity: 87% of /64s
+        /// associate with a single /24, so rebinds are the minority).
+        rebind_prob: f64,
+        /// Mean hours between mid-session CGNAT mapping checks. These are
+        /// what let a long-lived /64 be seen behind more than one /24.
+        check_interval_hours: f64,
+    },
+}
+
+/// IPv6 delegation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V6Policy {
+    /// Persistent delegation per RIPE-690 recommendations: changes only via
+    /// outage-induced state loss, occasional server-side maintenance, or
+    /// administrative renumbering.
+    StableDelegation {
+        /// Like a DHCP lease: outages longer than this lose the delegation.
+        valid_lifetime_hours: u64,
+        /// Mean hours between server-side delegation renumberings that are
+        /// independent of the IPv4 side (pool maintenance). `f64::INFINITY`
+        /// disables them. This is what makes v4 and v6 changes *not*
+        /// co-occur on Comcast-like networks (Section 3.2).
+        maintenance_mean_hours: f64,
+    },
+    /// Periodic renumbering of the delegated prefix (DTAG, Versatel,
+    /// Netcologne: 24 h; ANTEL: 12 h; Global Village: 48 h).
+    PeriodicRenumber {
+        /// Renumbering period.
+        period_hours: u64,
+        /// Multiplicative jitter applied to each period.
+        jitter: f64,
+    },
+    /// Session-scoped /64 assignment, cellular style: a new prefix per
+    /// attachment session, with heavy-tailed session lifetimes.
+    SessionBased {
+        /// Mean of the (exponential) session-length body, hours.
+        mean_session_hours: f64,
+        /// Probability a session is drawn from the long tail instead.
+        tail_prob: f64,
+        /// Upper bound of the tail, hours.
+        tail_max_hours: f64,
+    },
+}
+
+/// How a CPE selects the /64 it announces on the home LAN out of its
+/// delegated prefix (Section 5.3: this decides whether subscriber-boundary
+/// inference via trailing zeros works).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CpeV6Behavior {
+    /// Announce the lowest-numbered /64: trailing network bits are zero, so
+    /// the delegation boundary is inferable.
+    ZeroOut,
+    /// Scramble the available bits (a feature of many DTAG CPEs): a random
+    /// sub-/64 is chosen per delegation and re-chosen on every reconnect,
+    /// defeating boundary inference (inferred length collapses to /64).
+    Scramble {
+        /// If set, additionally rotate the announced /64 within the same
+        /// delegation on this period, producing assignment changes with
+        /// CPL ≥ delegated length.
+        rotate_every_hours: Option<u64>,
+    },
+    /// Use a fixed, non-zero sub-/64 chosen once per CPE (e.g. a vendor that
+    /// numbers LANs from 1). Overestimates the subscriber prefix length.
+    ConstantNonZero,
+}
+
+/// Spatial layout of an ISP's IPv6 delegation space, producing the pool
+/// structure of Section 5.2: subscribers draw delegations from a "local"
+/// pool nested in a "region" pool nested in the ISP's BGP aggregate(s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct V6PoolPlan {
+    /// BGP-announced aggregates (e.g. DTAG's `2003::/19`).
+    pub aggregates: Vec<Ipv6Prefix>,
+    /// Length of the regional pool (the paper finds /40 common).
+    pub region_len: u8,
+    /// Length of the delegated prefix (e.g. 56 for DTAG/Orange, 48 for
+    /// Netcologne, 62 for Kabel DE branded CPEs, 64 for cellular).
+    pub delegated_len: u8,
+    /// Number of regional pools instantiated per aggregate.
+    pub regions_per_aggregate: u32,
+    /// Probability that a renumbering stays within the subscriber's current
+    /// region (the remainder moves to a different region, producing the rare
+    /// CPL < region_len changes).
+    pub p_stay_region: f64,
+}
+
+impl V6PoolPlan {
+    /// Basic sanity checks; called when an ISP sim is built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.aggregates.is_empty() {
+            return Err("no IPv6 aggregates".into());
+        }
+        for agg in &self.aggregates {
+            if self.region_len < agg.len() {
+                return Err(format!(
+                    "region_len /{} shorter than aggregate {}",
+                    self.region_len, agg
+                ));
+            }
+        }
+        if self.delegated_len < self.region_len || self.delegated_len > 64 {
+            return Err(format!(
+                "delegated_len /{} must be within [region_len /{}, 64]",
+                self.delegated_len, self.region_len
+            ));
+        }
+        if self.regions_per_aggregate == 0 {
+            return Err("regions_per_aggregate must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_stay_region) {
+            return Err("p_stay_region out of [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Spatial layout of an ISP's public IPv4 space: a set of pools, possibly
+/// spread across multiple BGP announcements. Non-sticky reassignment picks a
+/// pool by weight and then a free address — which is what makes consecutive
+/// IPv4 assignments land in different /24s and different BGP prefixes
+/// (Table 2) at the observed rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct V4PoolPlan {
+    /// `(pool prefix, selection weight)`. Each pool lies inside exactly one
+    /// announced BGP prefix (see [`V4PoolPlan::announcements`]).
+    pub pools: Vec<(Ipv4Prefix, f64)>,
+    /// BGP announcements covering the pools. Defaults to announcing each
+    /// pool prefix itself if empty.
+    pub announcements: Vec<Ipv4Prefix>,
+    /// Probability that a non-sticky reassignment re-issues a *nearby*
+    /// address in the same pool segment instead of drawing fresh (sequential
+    /// DHCP allocators do this; it is what keeps a share of observed changes
+    /// inside the same /24 — Table 2's "Diff /24" column).
+    pub p_near: f64,
+    /// Neighborhood radius (in addresses) of a near reassignment.
+    pub near_radius: u64,
+}
+
+impl V4PoolPlan {
+    /// Sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pools.is_empty() {
+            return Err("no IPv4 pools".into());
+        }
+        if self.pools.iter().any(|(_, w)| *w <= 0.0) {
+            return Err("non-positive pool weight".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_near) {
+            return Err("p_near out of [0,1]".into());
+        }
+        for (pool, _) in &self.pools {
+            if !self.announcements.is_empty()
+                && !self
+                    .announcements
+                    .iter()
+                    .any(|ann| ann.contains_prefix(pool))
+            {
+                return Err(format!("pool {pool} not covered by any announcement"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective BGP announcements (pool prefixes themselves if no
+    /// explicit aggregates were configured).
+    pub fn effective_announcements(&self) -> Vec<Ipv4Prefix> {
+        if self.announcements.is_empty() {
+            self.pools.iter().map(|(p, _)| *p).collect()
+        } else {
+            self.announcements.clone()
+        }
+    }
+}
+
+/// Outage processes (Section 2.2 "Changes due to outages").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageConfig {
+    /// Mean hours between short CPE outages/reboots (Poisson).
+    pub cpe_outage_mean_interval_hours: f64,
+    /// Mean duration of a short CPE outage, hours.
+    pub cpe_outage_mean_duration_hours: f64,
+    /// Mean hours between long subscriber outages (vacations, long power
+    /// cuts) that outlast DHCP leases.
+    pub long_outage_mean_interval_hours: f64,
+    /// Mean duration of a long outage, hours.
+    pub long_outage_mean_duration_hours: f64,
+    /// Mean hours between region-wide infrastructure outages that lose
+    /// server state and renumber everyone in the region.
+    pub infra_outage_mean_interval_hours: f64,
+    /// Mean hours between administrative renumbering events per region
+    /// (restructuring, pool rebalancing); moves subscribers across regions.
+    pub admin_renumber_mean_interval_hours: f64,
+}
+
+impl OutageConfig {
+    /// A quiet residential profile: occasional reboots, rare long outages,
+    /// infrastructure events every couple of years.
+    pub fn quiet() -> Self {
+        OutageConfig {
+            cpe_outage_mean_interval_hours: 90.0 * 24.0,
+            cpe_outage_mean_duration_hours: 1.0,
+            long_outage_mean_interval_hours: 500.0 * 24.0,
+            long_outage_mean_duration_hours: 5.0 * 24.0,
+            infra_outage_mean_interval_hours: 700.0 * 24.0,
+            admin_renumber_mean_interval_hours: 1500.0 * 24.0,
+        }
+    }
+
+    /// No outages at all — useful for tests that isolate periodic policies.
+    pub fn none() -> Self {
+        OutageConfig {
+            cpe_outage_mean_interval_hours: f64::INFINITY,
+            cpe_outage_mean_duration_hours: 1.0,
+            long_outage_mean_interval_hours: f64::INFINITY,
+            long_outage_mean_duration_hours: 1.0,
+            infra_outage_mean_interval_hours: f64::INFINITY,
+            admin_renumber_mean_interval_hours: f64::INFINITY,
+        }
+    }
+}
+
+/// A class of subscribers within an ISP sharing the same policies. Real
+/// networks mix classes — e.g. the paper finds *some* DTAG dual-stack probes
+/// keep 24-hour renumbering while others hold addresses much longer — so an
+/// ISP is configured as a weighted list of classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriberClass {
+    /// Relative weight of this class in the subscriber population.
+    pub weight: f64,
+    /// Whether subscribers in this class are dual-stacked.
+    pub dual_stack: bool,
+    /// IPv4 policy (None = v6-only, rare but possible).
+    pub v4: Option<V4Policy>,
+    /// IPv6 policy (None = v4-only subscriber).
+    pub v6: Option<V6Policy>,
+    /// Whether v4 and v6 renumber together (DTAG-style, 90.6% observed
+    /// simultaneity) or independently (Comcast-style).
+    pub coupled: bool,
+    /// CPE /64-selection behaviour mixture `(weight, behaviour)`.
+    pub cpe_mix: Vec<(f64, CpeV6Behavior)>,
+    /// Outage processes for this class.
+    pub outages: OutageConfig,
+}
+
+/// A gradual policy migration: subscribers of one class individually
+/// convert to another class at exponentially distributed times. This is how
+/// the paper's "assignment durations ... have shown signs of increase over
+/// the years, especially in ISPs such as DTAG and Orange" (Section 3.2)
+/// arises mechanically: lines move from legacy periodic renumbering to
+/// stable dual-stack provisioning as networks are upgraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stabilization {
+    /// Class index subscribers convert *from*.
+    pub from_class: usize,
+    /// Class index they convert *to*.
+    pub to_class: usize,
+    /// Mean hours until an individual subscriber converts.
+    pub mean_hours: f64,
+}
+
+/// Full configuration of one simulated ISP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspConfig {
+    /// Origin AS.
+    pub asn: Asn,
+    /// Operator name (as in the paper's Table 1).
+    pub name: String,
+    /// Country label.
+    pub country: String,
+    /// Delegating RIR.
+    pub rir: Rir,
+    /// Fixed-line or cellular.
+    pub access: AccessType,
+    /// IPv4 address-space layout (None = v6-only network).
+    pub v4_plan: Option<V4PoolPlan>,
+    /// IPv6 delegation-space layout (None = v4-only network).
+    pub v6_plan: Option<V6PoolPlan>,
+    /// Subscriber classes with weights.
+    pub classes: Vec<SubscriberClass>,
+    /// Gradual class migrations (policy evolution over the window).
+    pub stabilization: Vec<Stabilization>,
+    /// Number of subscribers to instantiate when this ISP is simulated.
+    pub subscribers: u32,
+}
+
+impl IspConfig {
+    /// Validate the configuration; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.is_empty() {
+            return Err(format!("{}: no subscriber classes", self.name));
+        }
+        if self.subscribers == 0 {
+            return Err(format!("{}: zero subscribers", self.name));
+        }
+        if let Some(plan) = &self.v4_plan {
+            plan.validate().map_err(|e| format!("{}: {e}", self.name))?;
+        }
+        if let Some(plan) = &self.v6_plan {
+            plan.validate().map_err(|e| format!("{}: {e}", self.name))?;
+        }
+        for (i, st) in self.stabilization.iter().enumerate() {
+            if st.from_class >= self.classes.len() || st.to_class >= self.classes.len() {
+                return Err(format!("{}: stabilization {i} references a missing class", self.name));
+            }
+            if st.mean_hours <= 0.0 || st.mean_hours.is_nan() {
+                return Err(format!("{}: stabilization {i} needs a positive mean", self.name));
+            }
+            let target = &self.classes[st.to_class];
+            if target.v6.is_some() && target.cpe_mix.is_empty() {
+                return Err(format!(
+                    "{}: stabilization {i} targets a v6 class without a CPE mix",
+                    self.name
+                ));
+            }
+        }
+        for (i, class) in self.classes.iter().enumerate() {
+            if class.weight <= 0.0 {
+                return Err(format!("{}: class {i} has non-positive weight", self.name));
+            }
+            if class.v4.is_none() && class.v6.is_none() {
+                return Err(format!("{}: class {i} has neither v4 nor v6", self.name));
+            }
+            if class.v4.is_some() && self.v4_plan.is_none() {
+                return Err(format!("{}: class {i} uses v4 but no v4_plan", self.name));
+            }
+            if class.v6.is_some() && self.v6_plan.is_none() {
+                return Err(format!("{}: class {i} uses v6 but no v6_plan", self.name));
+            }
+            if class.dual_stack && (class.v4.is_none() || class.v6.is_none()) {
+                return Err(format!(
+                    "{}: class {i} marked dual-stack without both policies",
+                    self.name
+                ));
+            }
+            if class.v6.is_some() && class.cpe_mix.is_empty() {
+                return Err(format!(
+                    "{}: class {i} uses v6 but empty cpe_mix",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v6_plan() -> V6PoolPlan {
+        V6PoolPlan {
+            aggregates: vec!["2003::/19".parse().unwrap()],
+            region_len: 40,
+            delegated_len: 56,
+            regions_per_aggregate: 8,
+            p_stay_region: 0.98,
+        }
+    }
+
+    fn v4_plan() -> V4PoolPlan {
+        V4PoolPlan {
+            pools: vec![
+                ("84.128.0.0/12".parse().unwrap(), 0.7),
+                ("91.0.0.0/13".parse().unwrap(), 0.3),
+            ],
+            announcements: vec![
+                "84.128.0.0/10".parse().unwrap(),
+                "91.0.0.0/10".parse().unwrap(),
+            ],
+            p_near: 0.05,
+            near_radius: 256,
+        }
+    }
+
+    fn class() -> SubscriberClass {
+        SubscriberClass {
+            weight: 1.0,
+            dual_stack: true,
+            v4: Some(V4Policy::PeriodicRenumber {
+                period_hours: 24,
+                jitter: 0.0,
+            }),
+            v6: Some(V6Policy::PeriodicRenumber {
+                period_hours: 24,
+                jitter: 0.0,
+            }),
+            coupled: true,
+            cpe_mix: vec![(1.0, CpeV6Behavior::ZeroOut)],
+            outages: OutageConfig::quiet(),
+        }
+    }
+
+    fn config() -> IspConfig {
+        IspConfig {
+            asn: Asn(3320),
+            name: "DTAG".into(),
+            country: "Germany".into(),
+            rir: Rir::RipeNcc,
+            access: AccessType::FixedLine,
+            v4_plan: Some(v4_plan()),
+            v6_plan: Some(v6_plan()),
+            classes: vec![class()],
+            stabilization: vec![],
+            subscribers: 100,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        config().validate().unwrap();
+    }
+
+    #[test]
+    fn v6_plan_validation() {
+        let mut p = v6_plan();
+        p.delegated_len = 30;
+        assert!(p.validate().is_err(), "delegated shorter than region");
+        let mut p = v6_plan();
+        p.region_len = 10;
+        assert!(p.validate().is_err(), "region shorter than aggregate");
+        let mut p = v6_plan();
+        p.aggregates.clear();
+        assert!(p.validate().is_err());
+        let mut p = v6_plan();
+        p.regions_per_aggregate = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn v4_plan_validation() {
+        let mut p = v4_plan();
+        p.pools[0].1 = 0.0;
+        assert!(p.validate().is_err(), "zero weight");
+        let mut p = v4_plan();
+        p.announcements = vec!["1.0.0.0/8".parse().unwrap()];
+        assert!(p.validate().is_err(), "pool outside announcements");
+        let mut p = v4_plan();
+        p.pools.clear();
+        assert!(p.validate().is_err());
+        let mut p = v4_plan();
+        p.p_near = 1.5;
+        assert!(p.validate().is_err(), "p_near out of range");
+    }
+
+    #[test]
+    fn effective_announcements_default_to_pools() {
+        let mut p = v4_plan();
+        p.announcements.clear();
+        assert_eq!(
+            p.effective_announcements(),
+            vec![
+                "84.128.0.0/12".parse().unwrap(),
+                "91.0.0.0/13".parse().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn class_cross_checks() {
+        let mut c = config();
+        c.classes[0].v4 = None;
+        assert!(c.validate().is_err(), "dual-stack without v4 policy");
+
+        let mut c = config();
+        c.classes[0].dual_stack = false;
+        c.classes[0].v6 = None;
+        c.validate().unwrap();
+
+        let mut c = config();
+        c.v6_plan = None;
+        assert!(c.validate().is_err(), "v6 policy without v6 plan");
+
+        let mut c = config();
+        c.classes[0].cpe_mix.clear();
+        assert!(c.validate().is_err(), "v6 without cpe mix");
+
+        let mut c = config();
+        c.subscribers = 0;
+        assert!(c.validate().is_err());
+    }
+}

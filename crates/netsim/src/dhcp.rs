@@ -1,0 +1,239 @@
+//! Protocol-level DHCP lease and DHCPv6 prefix-delegation state machines.
+//!
+//! The paper's Section 2.2 grounds every temporal finding in the DHCP
+//! (RFC 2131) and DHCPv6-PD (RFC 3633/8415) lifecycles: leases with renewal
+//! (T1) and rebinding (T2) timers, delegations with preferred/valid
+//! lifetimes, and servers that do or do not retain binding state. This
+//! module models those lifecycles at the simulation's hour resolution; the
+//! simulator consults it for outage-survival decisions, and it is exposed
+//! publicly so applications can reason about lease timelines directly.
+
+use crate::time::SimTime;
+
+/// Phase of an RFC 2131 client lease at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeasePhase {
+    /// Before T1: the client uses the address without talking to the
+    /// server.
+    Bound,
+    /// Between T1 and T2: the client unicasts RENEW requests to the server
+    /// that granted the lease.
+    Renewing,
+    /// Between T2 and expiry: the client broadcasts REBIND requests to any
+    /// server.
+    Rebinding,
+    /// Past the valid lifetime: the address must not be used.
+    Expired,
+}
+
+/// One granted DHCPv4 lease, timed from its last (re)acknowledgement.
+///
+/// ```
+/// use dynamips_netsim::dhcp::{LeasePhase, LeaseState};
+/// use dynamips_netsim::SimTime;
+///
+/// let lease = LeaseState::granted(SimTime(0), 24);
+/// assert_eq!(lease.phase_at(SimTime(10)), LeasePhase::Bound);
+/// assert_eq!(lease.phase_at(SimTime(13)), LeasePhase::Renewing);
+/// // A CPE offline for longer than the lease loses its address.
+/// assert!(!lease.survives_outage(SimTime(100), SimTime(130)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseState {
+    /// When the lease was granted or last renewed.
+    pub renewed_at: SimTime,
+    /// Lease duration (the DHCP IP-address-lease-time option).
+    pub lease_hours: u64,
+}
+
+impl LeaseState {
+    /// Grant a fresh lease at `now`.
+    pub fn granted(now: SimTime, lease_hours: u64) -> Self {
+        LeaseState {
+            renewed_at: now,
+            lease_hours,
+        }
+    }
+
+    /// T1, the renewal time: 0.5 × lease (RFC 2131 §4.4.5 default).
+    pub fn t1(&self) -> SimTime {
+        self.renewed_at + self.lease_hours / 2
+    }
+
+    /// T2, the rebinding time: 0.875 × lease.
+    pub fn t2(&self) -> SimTime {
+        self.renewed_at + self.lease_hours * 7 / 8
+    }
+
+    /// Lease expiry.
+    pub fn expiry(&self) -> SimTime {
+        self.renewed_at + self.lease_hours
+    }
+
+    /// Phase at time `t`.
+    pub fn phase_at(&self, t: SimTime) -> LeasePhase {
+        if t < self.t1() {
+            LeasePhase::Bound
+        } else if t < self.t2() {
+            LeasePhase::Renewing
+        } else if t < self.expiry() {
+            LeasePhase::Rebinding
+        } else {
+            LeasePhase::Expired
+        }
+    }
+
+    /// Renew at `t` (the server re-acknowledges): the timers restart. An
+    /// online client renews at every T1, so its lease never expires.
+    pub fn renew(&mut self, t: SimTime) {
+        debug_assert!(t >= self.renewed_at);
+        self.renewed_at = t;
+    }
+
+    /// Whether a client that went offline at `down` and returned at `up`
+    /// still holds a valid lease on return. An online client renews at T1,
+    /// so at the moment of failure the lease was at worst half-elapsed; we
+    /// model the client as having renewed just before the outage (the
+    /// simulator's CPEs renew opportunistically at every measurement-hour
+    /// tick). Equivalently: the outage must outlast a full lease to lose
+    /// the binding.
+    pub fn survives_outage(&self, down: SimTime, up: SimTime) -> bool {
+        let fresh = LeaseState::granted(down, self.lease_hours);
+        up < fresh.expiry() || up == fresh.expiry()
+    }
+}
+
+/// Phase of a DHCPv6 delegated prefix (IA_PD) at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationPhase {
+    /// Within the preferred lifetime: use freely.
+    Preferred,
+    /// Past preferred but within valid: existing communication may
+    /// continue, no new use (RFC 8415 deprecated state).
+    Deprecated,
+    /// Past the valid lifetime: the prefix must be abandoned.
+    Invalid,
+}
+
+/// One delegated prefix with RFC 8415 lifetimes, timed from its last
+/// renewal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegationState {
+    /// When the delegation was granted or last renewed.
+    pub renewed_at: SimTime,
+    /// Preferred lifetime, hours.
+    pub preferred_hours: u64,
+    /// Valid lifetime, hours (≥ preferred).
+    pub valid_hours: u64,
+}
+
+impl DelegationState {
+    /// Grant a delegation at `now`. `valid_hours` is clamped to at least
+    /// `preferred_hours`, as the RFC requires.
+    pub fn granted(now: SimTime, preferred_hours: u64, valid_hours: u64) -> Self {
+        DelegationState {
+            renewed_at: now,
+            preferred_hours,
+            valid_hours: valid_hours.max(preferred_hours),
+        }
+    }
+
+    /// Phase at time `t`.
+    pub fn phase_at(&self, t: SimTime) -> DelegationPhase {
+        let elapsed = t - self.renewed_at;
+        if elapsed < self.preferred_hours {
+            DelegationPhase::Preferred
+        } else if elapsed < self.valid_hours {
+            DelegationPhase::Deprecated
+        } else {
+            DelegationPhase::Invalid
+        }
+    }
+
+    /// Renew at `t`.
+    pub fn renew(&mut self, t: SimTime) {
+        debug_assert!(t >= self.renewed_at);
+        self.renewed_at = t;
+    }
+
+    /// Whether a CPE offline during `[down, up)` still holds a valid
+    /// delegation on return (same opportunistic-renewal assumption as
+    /// [`LeaseState::survives_outage`]).
+    pub fn survives_outage(&self, down: SimTime, up: SimTime) -> bool {
+        up - down <= self.valid_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_timer_schedule() {
+        let l = LeaseState::granted(SimTime(100), 24);
+        assert_eq!(l.t1(), SimTime(112));
+        assert_eq!(l.t2(), SimTime(121));
+        assert_eq!(l.expiry(), SimTime(124));
+    }
+
+    #[test]
+    fn lease_phases_in_order() {
+        let l = LeaseState::granted(SimTime(0), 96);
+        assert_eq!(l.phase_at(SimTime(0)), LeasePhase::Bound);
+        assert_eq!(l.phase_at(SimTime(47)), LeasePhase::Bound);
+        assert_eq!(l.phase_at(SimTime(48)), LeasePhase::Renewing);
+        assert_eq!(l.phase_at(SimTime(83)), LeasePhase::Renewing);
+        assert_eq!(l.phase_at(SimTime(84)), LeasePhase::Rebinding);
+        assert_eq!(l.phase_at(SimTime(95)), LeasePhase::Rebinding);
+        assert_eq!(l.phase_at(SimTime(96)), LeasePhase::Expired);
+    }
+
+    #[test]
+    fn renewal_restarts_timers() {
+        let mut l = LeaseState::granted(SimTime(0), 24);
+        l.renew(SimTime(12));
+        assert_eq!(l.phase_at(SimTime(20)), LeasePhase::Bound);
+        assert_eq!(l.expiry(), SimTime(36));
+    }
+
+    #[test]
+    fn online_client_never_expires() {
+        // A client renewing at every T1 stays Bound/Renewing forever.
+        let mut l = LeaseState::granted(SimTime(0), 24);
+        for _ in 0..100 {
+            let t1 = l.t1();
+            assert_ne!(l.phase_at(t1), LeasePhase::Expired);
+            l.renew(t1);
+        }
+        assert!(l.expiry().hours() > 100 * 12);
+    }
+
+    #[test]
+    fn outage_survival_threshold() {
+        let l = LeaseState::granted(SimTime(500), 48);
+        assert!(l.survives_outage(SimTime(1000), SimTime(1048)));
+        assert!(!l.survives_outage(SimTime(1000), SimTime(1049)));
+    }
+
+    #[test]
+    fn delegation_phases() {
+        let d = DelegationState::granted(SimTime(0), 24, 72);
+        assert_eq!(d.phase_at(SimTime(10)), DelegationPhase::Preferred);
+        assert_eq!(d.phase_at(SimTime(24)), DelegationPhase::Deprecated);
+        assert_eq!(d.phase_at(SimTime(71)), DelegationPhase::Deprecated);
+        assert_eq!(d.phase_at(SimTime(72)), DelegationPhase::Invalid);
+    }
+
+    #[test]
+    fn delegation_valid_clamped_to_preferred() {
+        let d = DelegationState::granted(SimTime(0), 48, 24);
+        assert_eq!(d.valid_hours, 48);
+    }
+
+    #[test]
+    fn delegation_outage_survival() {
+        let d = DelegationState::granted(SimTime(0), 24, 14 * 24);
+        assert!(d.survives_outage(SimTime(100), SimTime(100 + 14 * 24)));
+        assert!(!d.survives_outage(SimTime(100), SimTime(101 + 14 * 24)));
+    }
+}

@@ -1,0 +1,132 @@
+//! The discrete-event queue.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap event queue. Events at the same instant are delivered in
+/// insertion order (a monotonically increasing sequence number breaks ties),
+/// which keeps simulations deterministic for a fixed seed.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, WrappedEvent<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that defers all ordering to the (time, seq) key.
+#[derive(Debug)]
+struct WrappedEvent<E>(E);
+
+impl<E> PartialEq for WrappedEvent<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for WrappedEvent<E> {}
+impl<E> PartialOrd for WrappedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for WrappedEvent<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.heap
+            .push(Reverse((time, self.seq, WrappedEvent(event))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap
+            .pop()
+            .map(|Reverse((t, _, WrappedEvent(e)))| (t, e))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), "c");
+        q.schedule(SimTime(1), "a");
+        q.schedule(SimTime(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(SimTime(1), "a"), (SimTime(3), "b"), (SimTime(5), "c")]
+        );
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(9), ());
+        q.schedule(SimTime(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "late");
+        q.schedule(SimTime(2), "early");
+        assert_eq!(q.pop(), Some((SimTime(2), "early")));
+        // Scheduling after a pop still orders correctly.
+        q.schedule(SimTime(5), "mid");
+        assert_eq!(q.pop(), Some((SimTime(5), "mid")));
+        assert_eq!(q.pop(), Some((SimTime(10), "late")));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! Discrete-event simulation of ISP address-assignment machinery.
+//!
+//! The paper observes the *outputs* of operational assignment systems:
+//! DHCP/RADIUS servers handing out IPv4 addresses, DHCPv6 servers delegating
+//! IPv6 prefixes, CGNATs multiplexing subscribers, and CPE devices choosing
+//! how to use their delegations. Since the underlying datasets are
+//! proprietary, this crate implements those *mechanisms* directly; the
+//! observation layers (`dynamips-atlas`, `dynamips-cdn`) sample the resulting
+//! ground-truth timelines, and the analysis pipeline (`dynamips-core`) must
+//! recover the configured behaviour.
+//!
+//! Layout:
+//!
+//! * [`time`] — the simulation clock (hour resolution, civil-date mapping).
+//! * [`event`] — the discrete-event queue.
+//! * [`rngutil`] — deterministic sampling helpers.
+//! * [`alloc`] — pool index allocators (sticky / random strategies).
+//! * [`dhcp`] — RFC 2131 lease and RFC 8415 prefix-delegation state
+//!   machines (T1/T2 timers, preferred/valid lifetimes).
+//! * [`config`] — per-ISP policy configuration: everything Section 2.2 of
+//!   the paper lists as a cause of assignment changes is a knob here.
+//! * [`plan`] — per-subscriber concrete policy instances sampled from a
+//!   config.
+//! * [`timeline`] — ground-truth assignment segments per subscriber.
+//! * [`sim`] — the per-ISP discrete-event engine.
+//! * [`profiles`] — configurations reproducing the paper's named ISPs plus
+//!   per-RIR background populations and cellular operators.
+//! * [`world`] — assembly of many ISPs into one synthetic Internet with BGP
+//!   announcements and RIR delegations.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alloc;
+pub mod config;
+pub mod dhcp;
+pub mod event;
+pub mod plan;
+pub mod profiles;
+pub mod rngutil;
+pub mod sim;
+pub mod time;
+pub mod timeline;
+pub mod world;
+
+pub use config::IspConfig;
+pub use sim::{IspSim, IspSimResult};
+pub use time::{Date, SimTime, Window, DAY, HOUR, WEEK, YEAR};
+pub use timeline::{SubscriberId, SubscriberTimeline, V4Segment, V6Segment};
+pub use world::World;

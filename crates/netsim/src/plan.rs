@@ -1,0 +1,193 @@
+//! Per-subscriber policy instances.
+//!
+//! An [`IspConfig`] describes a *population*;
+//! [`SubscriberPlan`] is the concrete draw for one subscriber: which class
+//! it belongs to, which CPE behaviour its home router exhibits, and the
+//! stable identifiers of its measurement device.
+
+use crate::config::{CpeV6Behavior, IspConfig, OutageConfig, V4Policy, V6Policy};
+use crate::rngutil::weighted_index;
+use dynamips_netaddr::eui64_from_mac;
+use rand::Rng;
+
+/// Concrete policy assignment for one subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriberPlan {
+    /// Index of the class in the ISP config this was drawn from.
+    pub class_idx: usize,
+    /// Whether the subscriber is dual-stacked.
+    pub dual_stack: bool,
+    /// IPv4 policy, if any.
+    pub v4: Option<V4Policy>,
+    /// IPv6 policy, if any.
+    pub v6: Option<V6Policy>,
+    /// Whether v4 and v6 renumber together.
+    pub coupled: bool,
+    /// The CPE's /64-selection behaviour.
+    pub cpe: CpeV6Behavior,
+    /// Outage processes.
+    pub outages: OutageConfig,
+    /// Stable EUI-64 interface identifier of the subscriber's device.
+    pub device_iid: u64,
+}
+
+/// Sample a subscriber plan from an ISP configuration.
+pub fn sample_plan<R: Rng + ?Sized>(cfg: &IspConfig, rng: &mut R) -> SubscriberPlan {
+    let weights: Vec<f64> = cfg.classes.iter().map(|c| c.weight).collect();
+    let class_idx = weighted_index(rng, &weights);
+    let class = &cfg.classes[class_idx];
+
+    let cpe = if class.cpe_mix.is_empty() {
+        CpeV6Behavior::ZeroOut
+    } else {
+        let cpe_weights: Vec<f64> = class.cpe_mix.iter().map(|(w, _)| *w).collect();
+        class.cpe_mix[weighted_index(rng, &cpe_weights)].1
+    };
+
+    // A random locally-administered MAC per subscriber device.
+    let mut mac = [0u8; 6];
+    rng.fill(&mut mac);
+    mac[0] = (mac[0] & 0xfe) | 0x02;
+
+    SubscriberPlan {
+        class_idx,
+        dual_stack: class.dual_stack,
+        v4: class.v4,
+        v6: class.v6,
+        coupled: class.coupled,
+        cpe,
+        outages: class.outages,
+        device_iid: eui64_from_mac(mac),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SubscriberClass, V4PoolPlan, V6PoolPlan};
+    use crate::rngutil::derive_rng;
+    use dynamips_routing::{AccessType, Asn, Rir};
+
+    fn two_class_config() -> IspConfig {
+        let class_a = SubscriberClass {
+            weight: 0.8,
+            dual_stack: true,
+            v4: Some(V4Policy::PeriodicRenumber {
+                period_hours: 24,
+                jitter: 0.0,
+            }),
+            v6: Some(V6Policy::StableDelegation {
+                valid_lifetime_hours: 24 * 14,
+                maintenance_mean_hours: f64::INFINITY,
+            }),
+            coupled: true,
+            cpe_mix: vec![
+                (0.5, CpeV6Behavior::ZeroOut),
+                (
+                    0.5,
+                    CpeV6Behavior::Scramble {
+                        rotate_every_hours: None,
+                    },
+                ),
+            ],
+            outages: OutageConfig::quiet(),
+        };
+        let class_b = SubscriberClass {
+            weight: 0.2,
+            dual_stack: false,
+            v4: Some(V4Policy::DhcpSticky { lease_hours: 48 }),
+            v6: None,
+            coupled: false,
+            cpe_mix: vec![],
+            outages: OutageConfig::quiet(),
+        };
+        IspConfig {
+            asn: Asn(64500),
+            name: "TestNet".into(),
+            country: "Testland".into(),
+            rir: Rir::RipeNcc,
+            access: AccessType::FixedLine,
+            v4_plan: Some(V4PoolPlan {
+                pools: vec![("192.0.2.0/24".parse().unwrap(), 1.0)],
+                announcements: vec![],
+                p_near: 0.0,
+                near_radius: 256,
+            }),
+            v6_plan: Some(V6PoolPlan {
+                aggregates: vec!["2001:db8::/32".parse().unwrap()],
+                region_len: 40,
+                delegated_len: 56,
+                regions_per_aggregate: 4,
+                p_stay_region: 1.0,
+            }),
+            classes: vec![class_a, class_b],
+            stabilization: vec![],
+            subscribers: 100,
+        }
+    }
+
+    #[test]
+    fn class_weights_respected() {
+        let cfg = two_class_config();
+        let mut rng = derive_rng(11, 0);
+        let n = 10_000;
+        let class_a = (0..n)
+            .filter(|_| sample_plan(&cfg, &mut rng).class_idx == 0)
+            .count() as f64;
+        assert!((class_a / n as f64 - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn cpe_mix_respected() {
+        let cfg = two_class_config();
+        let mut rng = derive_rng(11, 1);
+        let plans: Vec<_> = (0..5_000)
+            .map(|_| sample_plan(&cfg, &mut rng))
+            .filter(|p| p.class_idx == 0)
+            .collect();
+        let zero_out = plans
+            .iter()
+            .filter(|p| p.cpe == CpeV6Behavior::ZeroOut)
+            .count() as f64;
+        let frac = zero_out / plans.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn plan_fields_follow_class() {
+        let cfg = two_class_config();
+        let mut rng = derive_rng(11, 2);
+        for _ in 0..200 {
+            let plan = sample_plan(&cfg, &mut rng);
+            match plan.class_idx {
+                0 => {
+                    assert!(plan.dual_stack);
+                    assert!(plan.v6.is_some());
+                    assert!(plan.coupled);
+                }
+                1 => {
+                    assert!(!plan.dual_stack);
+                    assert!(plan.v6.is_none());
+                    assert_eq!(plan.v4, Some(V4Policy::DhcpSticky { lease_hours: 48 }));
+                }
+                other => panic!("unexpected class {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn device_iids_are_unique_and_eui64_shaped() {
+        let cfg = two_class_config();
+        let mut rng = derive_rng(11, 3);
+        let iids: Vec<u64> = (0..1000)
+            .map(|_| sample_plan(&cfg, &mut rng).device_iid)
+            .collect();
+        let mut dedup = iids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), iids.len(), "IIDs should not collide");
+        for iid in iids {
+            assert!(dynamips_netaddr::iid::looks_like_eui64(iid));
+        }
+    }
+}

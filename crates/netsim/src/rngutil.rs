@@ -1,0 +1,153 @@
+//! Deterministic sampling helpers.
+//!
+//! Everything in the simulation is driven by seeded [`rand::rngs::SmallRng`]
+//! instances, so whole worlds are reproducible from a single `u64` seed.
+//! Only the distributions bundled with `rand` itself are used; the few extra
+//! samplers we need (exponential, heavy-tail mixtures) are implemented here
+//! by inverse-CDF to avoid an extra dependency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a child RNG from a parent seed and a stream label, so independent
+/// subsystems (per-ISP sims, observation layers) don't share streams.
+pub fn derive_rng(seed: u64, stream: u64) -> SmallRng {
+    // SplitMix64 over the combined key: cheap, well-distributed, and keeps
+    // adjacent (seed, stream) pairs uncorrelated.
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// Sample an exponentially distributed duration (in hours) with the given
+/// mean, by inverse CDF. Returns at least 1 hour so events always advance
+/// the clock.
+pub fn exp_hours<R: Rng + ?Sized>(rng: &mut R, mean_hours: f64) -> u64 {
+    debug_assert!(mean_hours > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let h = -mean_hours * u.ln();
+    (h.round() as u64).max(1)
+}
+
+/// Sample a duration from a bounded-Pareto-like heavy tail: exponential body
+/// with probability `1 - tail_prob`, otherwise a tail drawn uniformly in
+/// log-space between `body_mean` and `tail_max`. Used for cellular session
+/// lifetimes, which the paper finds are "one day or less" for 75% of
+/// associations with "a long-tail lasting up to 30 days".
+pub fn heavy_tail_hours<R: Rng + ?Sized>(
+    rng: &mut R,
+    body_mean: f64,
+    tail_prob: f64,
+    tail_max: f64,
+) -> u64 {
+    if rng.gen_bool(tail_prob.clamp(0.0, 1.0)) {
+        let lo = body_mean.max(1.0).ln();
+        let hi = tail_max.max(body_mean + 1.0).ln();
+        let x = rng.gen_range(lo..hi).exp();
+        (x.round() as u64).max(1)
+    } else {
+        exp_hours(rng, body_mean)
+    }
+}
+
+/// Pick an index according to (not necessarily normalized) weights.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must have positive sum");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Jitter a base period multiplicatively by ±`frac` (e.g. 0.05 → within 5%),
+/// keeping at least 1 hour.
+pub fn jitter_period<R: Rng + ?Sized>(rng: &mut R, base_hours: u64, frac: f64) -> u64 {
+    if frac <= 0.0 {
+        return base_hours.max(1);
+    }
+    let f = rng.gen_range(1.0 - frac..1.0 + frac);
+    ((base_hours as f64 * f).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_rng_is_deterministic_and_stream_separated() {
+        let a1: u64 = derive_rng(42, 1).gen();
+        let a2: u64 = derive_rng(42, 1).gen();
+        let b: u64 = derive_rng(42, 2).gen();
+        let c: u64 = derive_rng(43, 1).gen();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+    }
+
+    #[test]
+    fn exp_hours_has_roughly_correct_mean() {
+        let mut rng = derive_rng(7, 0);
+        let n = 20_000;
+        let mean = 72.0;
+        let sum: u64 = (0..n).map(|_| exp_hours(&mut rng, mean)).sum();
+        let got = sum as f64 / n as f64;
+        assert!((got - mean).abs() < mean * 0.05, "mean {got}");
+    }
+
+    #[test]
+    fn exp_hours_is_at_least_one() {
+        let mut rng = derive_rng(7, 1);
+        for _ in 0..1000 {
+            assert!(exp_hours(&mut rng, 0.1) >= 1);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_majority_short_with_long_tail() {
+        let mut rng = derive_rng(7, 2);
+        let samples: Vec<u64> = (0..20_000)
+            .map(|_| heavy_tail_hours(&mut rng, 16.0, 0.25, 30.0 * 24.0))
+            .collect();
+        let short = samples.iter().filter(|&&d| d <= 24).count() as f64;
+        assert!(short / 20_000.0 > 0.5, "majority should be <= 1 day");
+        let max = *samples.iter().max().unwrap();
+        assert!(max > 10 * 24, "tail should reach past 10 days, got {max}");
+        assert!(max <= 31 * 24, "tail bounded by tail_max, got {max}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = derive_rng(7, 3);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[0.7, 0.2, 0.1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let f0 = counts[0] as f64 / 30_000.0;
+        assert!((f0 - 0.7).abs() < 0.02, "{f0}");
+    }
+
+    #[test]
+    fn weighted_index_single_weight() {
+        let mut rng = derive_rng(7, 4);
+        assert_eq!(weighted_index(&mut rng, &[1.0]), 0);
+    }
+
+    #[test]
+    fn jitter_period_bounds() {
+        let mut rng = derive_rng(7, 5);
+        for _ in 0..1000 {
+            let p = jitter_period(&mut rng, 24, 0.1);
+            assert!((21..=27).contains(&p), "{p}");
+        }
+        assert_eq!(jitter_period(&mut rng, 24, 0.0), 24);
+    }
+}

@@ -1,0 +1,252 @@
+//! Ground-truth assignment timelines.
+//!
+//! The simulator's output: for every subscriber, the maximal segments of
+//! time during which its public IPv4 address and its announced LAN /64
+//! were constant. The observation layers sample these (hourly for Atlas,
+//! per-transaction for the CDN); the analysis pipeline must recover the
+//! configured dynamics from those samples.
+
+use crate::time::SimTime;
+use dynamips_netaddr::Ipv6Prefix;
+use dynamips_routing::Asn;
+use std::net::Ipv4Addr;
+
+/// Identifies one subscriber within the simulated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId {
+    /// The subscriber's access ISP.
+    pub asn: Asn,
+    /// Index within that ISP's subscriber population.
+    pub index: u32,
+}
+
+/// A maximal interval `[start, end)` with a constant public IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V4Segment {
+    /// Segment start (assignment time or simulation-window start).
+    pub start: SimTime,
+    /// Segment end (change, offline, or window end).
+    pub end: SimTime,
+    /// The public-facing address (the CGNAT gateway address for cellular
+    /// subscribers — exactly what an IP-echo service or CDN would see).
+    pub addr: Ipv4Addr,
+    /// Whether the address is shared through CGNAT.
+    pub cgnat: bool,
+}
+
+/// A maximal interval `[start, end)` with a constant announced LAN /64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V6Segment {
+    /// Segment start.
+    pub start: SimTime,
+    /// Segment end.
+    pub end: SimTime,
+    /// The prefix the ISP delegated to the CPE (ground truth the
+    /// subscriber-boundary inference of Section 5.3 tries to recover).
+    pub delegated: Ipv6Prefix,
+    /// The /64 the CPE announces on the home LAN (what devices, probes and
+    /// the CDN actually observe).
+    pub lan64: Ipv6Prefix,
+}
+
+/// Full assignment history of one subscriber over a simulation window.
+#[derive(Debug, Clone)]
+pub struct SubscriberTimeline {
+    /// Who this is.
+    pub id: SubscriberId,
+    /// Whether the subscriber is dual-stacked.
+    pub dual_stack: bool,
+    /// Stable 64-bit interface identifier of the subscriber's measurement
+    /// device (RIPE Atlas probes use stable EUI-64-style IIDs).
+    pub device_iid: u64,
+    /// IPv4 history, ordered, non-overlapping.
+    pub v4: Vec<V4Segment>,
+    /// IPv6 history, ordered, non-overlapping.
+    pub v6: Vec<V6Segment>,
+}
+
+impl SubscriberTimeline {
+    /// The IPv4 segment covering `t`, if the subscriber was online with an
+    /// address then.
+    pub fn v4_at(&self, t: SimTime) -> Option<&V4Segment> {
+        // Segments are ordered by start; binary-search the candidate.
+        let idx = self.v4.partition_point(|s| s.start <= t);
+        let seg = self.v4.get(idx.checked_sub(1)?)?;
+        (t < seg.end).then_some(seg)
+    }
+
+    /// The IPv6 segment covering `t`.
+    pub fn v6_at(&self, t: SimTime) -> Option<&V6Segment> {
+        let idx = self.v6.partition_point(|s| s.start <= t);
+        let seg = self.v6.get(idx.checked_sub(1)?)?;
+        (t < seg.end).then_some(seg)
+    }
+
+    /// Number of IPv4 address *changes* in the ground truth (segment
+    /// boundaries where the address actually differs; an offline gap with
+    /// the same address on both sides is not a change).
+    pub fn v4_changes(&self) -> usize {
+        self.v4
+            .windows(2)
+            .filter(|w| w[0].addr != w[1].addr)
+            .count()
+    }
+
+    /// Number of LAN-/64 changes in the ground truth.
+    pub fn v6_changes(&self) -> usize {
+        self.v6
+            .windows(2)
+            .filter(|w| w[0].lan64 != w[1].lan64)
+            .count()
+    }
+
+    /// Validate ordering/non-overlap invariants; used by tests and debug
+    /// assertions in the simulator.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (label, starts_ends) in [
+            (
+                "v4",
+                self.v4.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>(),
+            ),
+            (
+                "v6",
+                self.v6.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>(),
+            ),
+        ] {
+            for (i, (start, end)) in starts_ends.iter().enumerate() {
+                if end < start {
+                    return Err(format!("{label} segment {i} ends before it starts"));
+                }
+                if i > 0 && starts_ends[i - 1].1 > *start {
+                    return Err(format!("{label} segments {i}-1 and {i} overlap"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn timeline() -> SubscriberTimeline {
+        SubscriberTimeline {
+            id: SubscriberId {
+                asn: Asn(3320),
+                index: 0,
+            },
+            dual_stack: true,
+            device_iid: 0x0225_96ff_fe12_3456,
+            v4: vec![
+                V4Segment {
+                    start: SimTime(0),
+                    end: SimTime(24),
+                    addr: Ipv4Addr::new(84, 128, 0, 1),
+                    cgnat: false,
+                },
+                V4Segment {
+                    start: SimTime(24),
+                    end: SimTime(48),
+                    addr: Ipv4Addr::new(84, 129, 7, 9),
+                    cgnat: false,
+                },
+                // Gap 48..50 (offline), then the same address again.
+                V4Segment {
+                    start: SimTime(50),
+                    end: SimTime(72),
+                    addr: Ipv4Addr::new(84, 129, 7, 9),
+                    cgnat: false,
+                },
+            ],
+            v6: vec![
+                V6Segment {
+                    start: SimTime(0),
+                    end: SimTime(24),
+                    delegated: pfx("2003:40:a0:aa00::/56"),
+                    lan64: pfx("2003:40:a0:aa00::/64"),
+                },
+                V6Segment {
+                    start: SimTime(24),
+                    end: SimTime(72),
+                    delegated: pfx("2003:41:17:2200::/56"),
+                    lan64: pfx("2003:41:17:2200::/64"),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_at_time() {
+        let tl = timeline();
+        assert_eq!(
+            tl.v4_at(SimTime(0)).unwrap().addr,
+            Ipv4Addr::new(84, 128, 0, 1)
+        );
+        assert_eq!(
+            tl.v4_at(SimTime(23)).unwrap().addr,
+            Ipv4Addr::new(84, 128, 0, 1)
+        );
+        assert_eq!(
+            tl.v4_at(SimTime(24)).unwrap().addr,
+            Ipv4Addr::new(84, 129, 7, 9)
+        );
+        assert!(tl.v4_at(SimTime(49)).is_none(), "offline gap");
+        assert!(tl.v4_at(SimTime(72)).is_none(), "window end is exclusive");
+        assert_eq!(
+            tl.v6_at(SimTime(30)).unwrap().lan64,
+            pfx("2003:41:17:2200::/64")
+        );
+    }
+
+    #[test]
+    fn change_counting_ignores_same_address_gaps() {
+        let tl = timeline();
+        // 84.128.0.1 -> 84.129.7.9 is one change; the gap at hour 48-50
+        // resumes the same address, so it is not a change.
+        assert_eq!(tl.v4_changes(), 1);
+        assert_eq!(tl.v6_changes(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_for_valid_timeline() {
+        timeline().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_overlap() {
+        let mut tl = timeline();
+        tl.v4[1].start = SimTime(10);
+        assert!(tl.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_catch_reversed_segment() {
+        let mut tl = timeline();
+        tl.v6[0].end = SimTime(0);
+        tl.v6[0].start = SimTime(5);
+        assert!(tl.check_invariants().is_err());
+    }
+
+    #[test]
+    fn empty_timeline_lookup() {
+        let tl = SubscriberTimeline {
+            id: SubscriberId {
+                asn: Asn(1),
+                index: 0,
+            },
+            dual_stack: false,
+            device_iid: 0,
+            v4: vec![],
+            v6: vec![],
+        };
+        assert!(tl.v4_at(SimTime(10)).is_none());
+        assert!(tl.v6_at(SimTime(10)).is_none());
+        assert_eq!(tl.v4_changes(), 0);
+        tl.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Autonomous-system numbers and per-AS metadata.
+
+use crate::rir::Rir;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An autonomous-system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Coarse access-network type, used by the CDN analysis to split the
+/// population into "fixed" and "mobile" — the paper finds these two classes
+/// behave so differently that they must be analyzed separately (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Fixed-line residential access (DSL, cable, fiber).
+    FixedLine,
+    /// Cellular access; classified with a Rula et al.-style methodology in
+    /// the real paper, configured directly in the simulation.
+    Cellular,
+    /// Anything else (hosting, enterprise, ...).
+    Other,
+}
+
+impl AccessType {
+    /// The label used in reports ("fixed" / "mobile" / "other").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessType::FixedLine => "fixed",
+            AccessType::Cellular => "mobile",
+            AccessType::Other => "other",
+        }
+    }
+}
+
+/// Metadata for one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Operator name as it appears in the paper's tables (e.g. "DTAG").
+    pub name: String,
+    /// ISO-ish country label (the paper's Table 1 uses "Germany", "many", …).
+    pub country: String,
+    /// Delegating regional Internet registry.
+    pub rir: Rir,
+    /// Fixed-line or cellular access network.
+    pub access: AccessType,
+}
+
+/// Registry of per-AS metadata, keyed by ASN.
+#[derive(Debug, Clone, Default)]
+pub struct AsRegistry {
+    map: BTreeMap<Asn, AsInfo>,
+}
+
+impl AsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an AS; replaces any existing entry with the same ASN.
+    pub fn register(&mut self, info: AsInfo) -> Option<AsInfo> {
+        self.map.insert(info.asn, info)
+    }
+
+    /// Look up an AS.
+    pub fn get(&self, asn: Asn) -> Option<&AsInfo> {
+        self.map.get(&asn)
+    }
+
+    /// Operator name, falling back to `ASxxxx` for unknown ASes.
+    pub fn name_of(&self, asn: Asn) -> String {
+        self.get(asn)
+            .map(|i| i.name.clone())
+            .unwrap_or_else(|| asn.to_string())
+    }
+
+    /// Whether the AS is a cellular access network.
+    pub fn is_cellular(&self, asn: Asn) -> bool {
+        matches!(self.get(asn).map(|i| i.access), Some(AccessType::Cellular))
+    }
+
+    /// All registered ASes in ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AsInfo> {
+        self.map.values()
+    }
+
+    /// Number of registered ASes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no ASes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(asn: u32, name: &str, access: AccessType) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            name: name.to_string(),
+            country: "Germany".to_string(),
+            rir: Rir::RipeNcc,
+            access,
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = AsRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(info(3320, "DTAG", AccessType::FixedLine));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(Asn(3320)).unwrap().name, "DTAG");
+        assert!(reg.get(Asn(7922)).is_none());
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut reg = AsRegistry::new();
+        reg.register(info(3320, "DTAG", AccessType::FixedLine));
+        let old = reg.register(info(3320, "Deutsche Telekom", AccessType::FixedLine));
+        assert_eq!(old.unwrap().name, "DTAG");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn name_fallback() {
+        let reg = AsRegistry::new();
+        assert_eq!(reg.name_of(Asn(64500)), "AS64500");
+    }
+
+    #[test]
+    fn cellular_classification() {
+        let mut reg = AsRegistry::new();
+        reg.register(info(12345, "EE-like", AccessType::Cellular));
+        reg.register(info(3320, "DTAG", AccessType::FixedLine));
+        assert!(reg.is_cellular(Asn(12345)));
+        assert!(!reg.is_cellular(Asn(3320)));
+        assert!(!reg.is_cellular(Asn(99999)));
+    }
+
+    #[test]
+    fn iteration_in_asn_order() {
+        let mut reg = AsRegistry::new();
+        reg.register(info(7922, "Comcast", AccessType::FixedLine));
+        reg.register(info(3320, "DTAG", AccessType::FixedLine));
+        let asns: Vec<u32> = reg.iter().map(|i| i.asn.0).collect();
+        assert_eq!(asns, vec![3320, 7922]);
+    }
+
+    #[test]
+    fn access_labels() {
+        assert_eq!(AccessType::FixedLine.label(), "fixed");
+        assert_eq!(AccessType::Cellular.label(), "mobile");
+        assert_eq!(AccessType::Other.label(), "other");
+    }
+}

@@ -1,0 +1,24 @@
+//! Routing substrate: BGP tables, origin-AS lookup and RIR delegations.
+//!
+//! The paper maps every observed address to its origin AS through BGP data
+//! (Routeviews pfx2as for the Atlas analysis, the CDN's own BGP feeds for the
+//! RUM analysis) and groups addresses "by their delegating Internet
+//! registrar" for the geographic breakdowns (Figures 3 and 7). This crate
+//! provides the same lookup machinery over synthetic announcements:
+//!
+//! * [`RoutingTable`] — longest-prefix-match origin lookup for IPv4 addresses
+//!   and IPv6 addresses/prefixes, with a pfx2as-style text serialization.
+//! * [`RirMap`] — address → regional Internet registry.
+//! * [`AsRegistry`] — per-AS metadata (name, country, RIR, access type).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod asn;
+pub mod pfx2as;
+pub mod rir;
+pub mod table;
+
+pub use asn::{AccessType, AsInfo, AsRegistry, Asn};
+pub use rir::{Rir, RirMap};
+pub use table::RoutingTable;

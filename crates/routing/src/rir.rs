@@ -1,0 +1,162 @@
+//! Regional Internet registries and address-space delegations.
+
+use dynamips_netaddr::{Ipv4Prefix, Ipv4Trie, Ipv6Prefix, Ipv6Trie};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The five regional Internet registries the paper groups addresses by in
+/// Figures 3 and 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rir {
+    /// North America.
+    Arin,
+    /// Europe, Middle East, parts of Central Asia.
+    RipeNcc,
+    /// Asia-Pacific.
+    Apnic,
+    /// Latin America and the Caribbean.
+    Lacnic,
+    /// Africa.
+    Afrinic,
+}
+
+impl Rir {
+    /// All five registries, in the order the paper's figures use.
+    pub const ALL: [Rir; 5] = [
+        Rir::Arin,
+        Rir::RipeNcc,
+        Rir::Apnic,
+        Rir::Lacnic,
+        Rir::Afrinic,
+    ];
+
+    /// Label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rir::Arin => "ARIN",
+            Rir::RipeNcc => "RIPENCC",
+            Rir::Apnic => "APNIC",
+            Rir::Lacnic => "LACNIC",
+            Rir::Afrinic => "AFRINIC",
+        }
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Maps addresses to their delegating registry, mirroring the RIR extended
+/// delegation files. Lookups are longest-prefix-match, so more-specific
+/// transfers (common in the post-exhaustion IPv4 market) shadow the covering
+/// delegation.
+#[derive(Debug, Clone, Default)]
+pub struct RirMap {
+    v4: Ipv4Trie<Rir>,
+    v6: Ipv6Trie<Rir>,
+}
+
+impl RirMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an IPv4 delegation.
+    pub fn delegate_v4(&mut self, prefix: Ipv4Prefix, rir: Rir) {
+        self.v4.insert(prefix, rir);
+    }
+
+    /// Record an IPv6 delegation.
+    pub fn delegate_v6(&mut self, prefix: Ipv6Prefix, rir: Rir) {
+        self.v6.insert(prefix, rir);
+    }
+
+    /// Registry delegating `addr`, if known.
+    pub fn rir_of_v4(&self, addr: Ipv4Addr) -> Option<Rir> {
+        self.v4.lookup(addr).map(|(_, r)| *r)
+    }
+
+    /// Registry delegating `addr`, if known.
+    pub fn rir_of_v6(&self, addr: Ipv6Addr) -> Option<Rir> {
+        self.v6.lookup(addr).map(|(_, r)| *r)
+    }
+
+    /// Registry delegating an IPv6 prefix (e.g. an observed /64), if known.
+    pub fn rir_of_v6_prefix(&self, prefix: &Ipv6Prefix) -> Option<Rir> {
+        self.v6.lookup_prefix(prefix).map(|(_, r)| *r)
+    }
+
+    /// Number of recorded delegations (v4 + v6).
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Whether the map has no delegations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_delegation_lookup() {
+        let mut map = RirMap::new();
+        map.delegate_v4("80.0.0.0/4".parse().unwrap(), Rir::RipeNcc);
+        map.delegate_v4("24.0.0.0/8".parse().unwrap(), Rir::Arin);
+        assert_eq!(
+            map.rir_of_v4(Ipv4Addr::new(87, 1, 2, 3)),
+            Some(Rir::RipeNcc)
+        );
+        assert_eq!(map.rir_of_v4(Ipv4Addr::new(24, 9, 9, 9)), Some(Rir::Arin));
+        assert_eq!(map.rir_of_v4(Ipv4Addr::new(200, 1, 1, 1)), None);
+    }
+
+    #[test]
+    fn v4_more_specific_transfer_shadows() {
+        let mut map = RirMap::new();
+        map.delegate_v4("80.0.0.0/4".parse().unwrap(), Rir::RipeNcc);
+        // A /16 transferred into APNIC out of RIPE space.
+        map.delegate_v4("81.7.0.0/16".parse().unwrap(), Rir::Apnic);
+        assert_eq!(map.rir_of_v4(Ipv4Addr::new(81, 7, 1, 1)), Some(Rir::Apnic));
+        assert_eq!(
+            map.rir_of_v4(Ipv4Addr::new(81, 8, 1, 1)),
+            Some(Rir::RipeNcc)
+        );
+    }
+
+    #[test]
+    fn v6_delegation_lookup() {
+        let mut map = RirMap::new();
+        map.delegate_v6("2003::/19".parse().unwrap(), Rir::RipeNcc);
+        map.delegate_v6("2600::/12".parse().unwrap(), Rir::Arin);
+        let dtag: Ipv6Addr = "2003:40:a0::1".parse().unwrap();
+        assert_eq!(map.rir_of_v6(dtag), Some(Rir::RipeNcc));
+        let p64: Ipv6Prefix = "2600:1:2:3::/64".parse().unwrap();
+        assert_eq!(map.rir_of_v6_prefix(&p64), Some(Rir::Arin));
+        assert_eq!(map.rir_of_v6_prefix(&"fc00::/64".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        let labels: Vec<_> = Rir::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["ARIN", "RIPENCC", "APNIC", "LACNIC", "AFRINIC"]
+        );
+    }
+
+    #[test]
+    fn len_counts_both_families() {
+        let mut map = RirMap::new();
+        assert!(map.is_empty());
+        map.delegate_v4("24.0.0.0/8".parse().unwrap(), Rir::Arin);
+        map.delegate_v6("2600::/12".parse().unwrap(), Rir::Arin);
+        assert_eq!(map.len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! BGP routing tables with origin-AS lookup.
+
+use crate::asn::Asn;
+use dynamips_netaddr::{Ipv4Prefix, Ipv4Trie, Ipv6Prefix, Ipv6Trie};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A snapshot of routed (announced) prefixes with their origin AS, for both
+/// address families — the synthetic equivalent of a Routeviews pfx2as
+/// snapshot or the CDN's BGP feed.
+///
+/// Two of the paper's analyses hinge on this table:
+///
+/// * Table 2 counts how often consecutive assignments to the same subscriber
+///   fall in *different routed BGP prefixes* — frequent in IPv4, rare in
+///   IPv6.
+/// * The CDN pre-processing discards associations whose IPv4 and IPv6
+///   origin-AS disagree, to filter multihoming and WiFi/cellular switching.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    v4: Ipv4Trie<Asn>,
+    v6: Ipv6Trie<Asn>,
+}
+
+impl RoutingTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announce an IPv4 prefix from `origin`. Later announcements of the
+    /// same prefix replace earlier ones.
+    pub fn announce_v4(&mut self, prefix: Ipv4Prefix, origin: Asn) {
+        self.v4.insert(prefix, origin);
+    }
+
+    /// Announce an IPv6 prefix from `origin`.
+    pub fn announce_v6(&mut self, prefix: Ipv6Prefix, origin: Asn) {
+        self.v6.insert(prefix, origin);
+    }
+
+    /// Withdraw an IPv4 prefix; returns the former origin.
+    pub fn withdraw_v4(&mut self, prefix: &Ipv4Prefix) -> Option<Asn> {
+        self.v4.remove(prefix)
+    }
+
+    /// Withdraw an IPv6 prefix; returns the former origin.
+    pub fn withdraw_v6(&mut self, prefix: &Ipv6Prefix) -> Option<Asn> {
+        self.v6.remove(prefix)
+    }
+
+    /// The routed prefix covering `addr` and its origin AS.
+    pub fn route_v4(&self, addr: Ipv4Addr) -> Option<(Ipv4Prefix, Asn)> {
+        self.v4.lookup(addr).map(|(p, a)| (p, *a))
+    }
+
+    /// The routed prefix covering `addr` and its origin AS.
+    pub fn route_v6(&self, addr: Ipv6Addr) -> Option<(Ipv6Prefix, Asn)> {
+        self.v6.lookup(addr).map(|(p, a)| (p, *a))
+    }
+
+    /// The routed prefix covering an IPv6 prefix (e.g. an observed /64).
+    pub fn route_v6_prefix(&self, prefix: &Ipv6Prefix) -> Option<(Ipv6Prefix, Asn)> {
+        self.v6.lookup_prefix(prefix).map(|(p, a)| (p, *a))
+    }
+
+    /// Origin AS of `addr`, if routed.
+    pub fn origin_v4(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.route_v4(addr).map(|(_, a)| a)
+    }
+
+    /// Origin AS of `addr`, if routed.
+    pub fn origin_v6(&self, addr: Ipv6Addr) -> Option<Asn> {
+        self.route_v6(addr).map(|(_, a)| a)
+    }
+
+    /// Number of announced prefixes (v4 + v6).
+    pub fn len(&self) -> usize {
+        self.v4.len() + self.v6.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All announced IPv4 prefixes in address order.
+    pub fn v4_entries(&self) -> Vec<(Ipv4Prefix, Asn)> {
+        self.v4
+            .entries()
+            .into_iter()
+            .map(|(p, a)| (p, *a))
+            .collect()
+    }
+
+    /// All announced IPv6 prefixes in address order.
+    pub fn v6_entries(&self) -> Vec<(Ipv6Prefix, Asn)> {
+        self.v6
+            .entries()
+            .into_iter()
+            .map(|(p, a)| (p, *a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn v4_origin_lookup() {
+        let mut t = RoutingTable::new();
+        t.announce_v4(p4("84.0.0.0/10"), Asn(3320));
+        t.announce_v4(p4("84.16.0.0/16"), Asn(64500));
+        assert_eq!(t.origin_v4(Ipv4Addr::new(84, 16, 1, 1)), Some(Asn(64500)));
+        assert_eq!(t.origin_v4(Ipv4Addr::new(84, 17, 1, 1)), Some(Asn(3320)));
+        assert_eq!(t.origin_v4(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    fn v6_prefix_route_lookup() {
+        let mut t = RoutingTable::new();
+        t.announce_v6(p6("2003::/19"), Asn(3320));
+        let (route, asn) = t.route_v6_prefix(&p6("2003:40:a0:1200::/64")).unwrap();
+        assert_eq!((route, asn), (p6("2003::/19"), Asn(3320)));
+    }
+
+    #[test]
+    fn withdraw_removes_route() {
+        let mut t = RoutingTable::new();
+        t.announce_v4(p4("84.0.0.0/10"), Asn(3320));
+        assert_eq!(t.withdraw_v4(&p4("84.0.0.0/10")), Some(Asn(3320)));
+        assert_eq!(t.origin_v4(Ipv4Addr::new(84, 1, 1, 1)), None);
+        assert_eq!(t.withdraw_v4(&p4("84.0.0.0/10")), None);
+    }
+
+    #[test]
+    fn reannouncement_changes_origin() {
+        let mut t = RoutingTable::new();
+        t.announce_v4(p4("84.0.0.0/10"), Asn(3320));
+        t.announce_v4(p4("84.0.0.0/10"), Asn(5432));
+        assert_eq!(t.origin_v4(Ipv4Addr::new(84, 1, 1, 1)), Some(Asn(5432)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entries_enumerate_both_families() {
+        let mut t = RoutingTable::new();
+        t.announce_v4(p4("84.0.0.0/10"), Asn(3320));
+        t.announce_v6(p6("2003::/19"), Asn(3320));
+        t.announce_v6(p6("2a02:8100::/28"), Asn(6830));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.v4_entries().len(), 1);
+        let v6: Vec<_> = t.v6_entries().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(v6, vec![p6("2003::/19"), p6("2a02:8100::/28")]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Paper-shape assertions: the qualitative findings of every table and
+//! figure must hold on a (small-scale) regeneration — who wins, by roughly
+//! what factor, where the modes sit. Absolute counts are scale-dependent
+//! and not asserted.
+
+use dynamips::core::stats::quantile;
+use dynamips::experiments::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};
+use std::sync::OnceLock;
+
+/// Enough scale for stable modes, small enough for CI.
+fn shape_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seed: 2020,
+        atlas_scale: 0.2,
+        cdn_scale: 0.15,
+    }
+}
+
+fn atlas() -> &'static AtlasAnalysis {
+    static A: OnceLock<AtlasAnalysis> = OnceLock::new();
+    A.get_or_init(|| AtlasAnalysis::compute(&shape_config()))
+}
+
+fn cdn() -> &'static CdnAnalysis {
+    static C: OnceLock<CdnAnalysis> = OnceLock::new();
+    C.get_or_init(|| CdnAnalysis::compute(&shape_config()))
+}
+
+/// Fraction of total assigned time in assignments ≤ the mark.
+fn ttf_at(set: &dynamips::core::durations::DurationSet, hours: u64) -> f64 {
+    set.cumulative_ttf_at(&[hours])[0]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Section 3.2
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig1_ipv6_durations_longer_than_ipv4_nds() {
+    // "IPv6 assignments have longer durations than IPv4" for the stable
+    // ISPs; DTAG is the paper's exception (daily on both).
+    for name in ["Orange", "Comcast", "LGI", "BT"] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        let v4_short = ttf_at(&s.v4_durations_nds, 14 * 24);
+        let v6_short = ttf_at(&s.v6_durations, 14 * 24);
+        assert!(
+            v6_short < v4_short + 0.05,
+            "{name}: v6 mass at <=2w ({v6_short:.2}) should not exceed v4 ({v4_short:.2})"
+        );
+    }
+}
+
+#[test]
+fn fig1_dual_stack_v4_lasts_longer_than_non_dual_stack() {
+    for name in ["Orange", "DTAG", "BT"] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        let nds = ttf_at(&s.v4_durations_nds, 7 * 24);
+        let ds = ttf_at(&s.v4_durations_ds, 7 * 24);
+        assert!(
+            ds <= nds + 0.02,
+            "{name}: DS short-duration mass ({ds:.2}) must not exceed NDS ({nds:.2})"
+        );
+    }
+}
+
+#[test]
+fn fig1_periodic_modes_match_paper() {
+    use dynamips::core::durations::detect_period;
+    for (name, period) in [
+        ("DTAG", 24u64),
+        ("Orange", 168),
+        ("BT", 336),
+        ("Proximus", 36),
+    ] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        let p = detect_period(&s.v4_durations_nds, 0.06, 0.4)
+            .unwrap_or_else(|| panic!("{name}: no period detected"));
+        let lo = (period as f64 * 0.9) as u64;
+        let hi = (period as f64 * 1.1) as u64;
+        assert!(
+            (lo..=hi).contains(&p.period_hours),
+            "{name}: detected {}h, expected ~{period}h",
+            p.period_hours
+        );
+    }
+}
+
+#[test]
+fn fig1_dtag_renumbers_ipv6_daily_too() {
+    use dynamips::core::durations::detect_period;
+    let (_, s) = atlas().by_name("DTAG").unwrap();
+    let p = detect_period(&s.v6_durations, 0.06, 0.4).expect("DTAG v6 period");
+    assert!((22..=26).contains(&p.period_hours), "{p:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 / dual-stack structure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table1_all_networks_have_clean_probes_and_changes() {
+    for name in [
+        "DTAG", "Comcast", "Orange", "LGI", "Free SAS", "Kabel DE", "Proximus", "Versatel", "BT",
+    ] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        assert!(s.probes > 0, "{name}: no clean probes");
+        assert!(s.ds_probes > 0, "{name}: no dual-stack probes");
+        assert!(s.v4_changes_all > 0, "{name}: no v4 changes");
+        assert!(
+            s.v4_changes_ds <= s.v4_changes_all,
+            "{name}: DS changes exceed total"
+        );
+    }
+}
+
+#[test]
+fn table1_change_volume_ordering() {
+    // DTAG's daily renumbering dwarfs Comcast's outage-driven changes.
+    let (_, dtag) = atlas().by_name("DTAG").unwrap();
+    let (_, comcast) = atlas().by_name("Comcast").unwrap();
+    let dtag_rate = dtag.v4_changes_all as f64 / dtag.probes as f64;
+    let comcast_rate = comcast.v4_changes_all as f64 / comcast.probes as f64;
+    assert!(
+        dtag_rate > 20.0 * comcast_rate,
+        "DTAG {dtag_rate:.1} vs Comcast {comcast_rate:.1} changes/probe"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Section 3.2 interplay
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dtag_changes_mostly_simultaneous_comcast_mostly_not() {
+    let (_, dtag) = atlas().by_name("DTAG").unwrap();
+    let (_, comcast) = atlas().by_name("Comcast").unwrap();
+    assert!(
+        dtag.cooccurrence.simultaneity() > 0.75,
+        "DTAG: {}",
+        dtag.cooccurrence.simultaneity()
+    );
+    assert!(
+        comcast.cooccurrence.simultaneity() < 0.5,
+        "Comcast: {}",
+        comcast.cooccurrence.simultaneity()
+    );
+}
+
+#[test]
+fn periodic_renumbering_detected_on_many_networks() {
+    assert!(atlas().periodic_v4_ases().len() >= 10);
+    assert!(atlas().periodic_v6_ases().len() >= 6);
+    // The 12h and 48h oddballs from the paper.
+    let v6 = atlas().periodic_v6_ases();
+    assert!(
+        v6.iter()
+            .any(|(asn, p)| asn.0 == 6057 && (11..=13).contains(p)),
+        "ANTEL 12h: {v6:?}"
+    );
+    assert!(
+        v6.iter()
+            .any(|(asn, p)| asn.0 == 18881 && (44..=52).contains(p)),
+        "GVT 48h: {v6:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 / Figure 5 spatial structure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table2_v6_changes_rarely_cross_bgp_v4_often_do() {
+    for name in ["DTAG", "Orange", "Proximus", "Versatel", "BT"] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        assert!(
+            s.crossing.pct_v6_diff_bgp() < 10.0,
+            "{name} v6 diff-BGP {:.0}%",
+            s.crossing.pct_v6_diff_bgp()
+        );
+        assert!(
+            s.crossing.pct_v4_diff_bgp() > 15.0,
+            "{name} v4 diff-BGP {:.0}%",
+            s.crossing.pct_v4_diff_bgp()
+        );
+        assert!(
+            s.crossing.pct_v6_diff_bgp() < s.crossing.pct_v4_diff_bgp(),
+            "{name}: v6 must cross BGP less often than v4"
+        );
+    }
+}
+
+#[test]
+fn table2_free_sas_v6_crosses_bgp_often() {
+    // The paper's outlier: 42% of Free SAS v6 changes cross BGP prefixes.
+    let (_, s) = atlas().by_name("Free SAS").unwrap();
+    assert!(
+        s.crossing.pct_v6_diff_bgp() > 20.0,
+        "{:.0}%",
+        s.crossing.pct_v6_diff_bgp()
+    );
+}
+
+#[test]
+fn fig5_dtag_cpl_structure() {
+    let (_, s) = atlas().by_name("DTAG").unwrap();
+    let below24: u64 = s.cpl.changes[..24].iter().sum();
+    let mid: u64 = s.cpl.changes[40..56].iter().sum();
+    let high: u64 = s.cpl.changes[56..].iter().sum();
+    assert_eq!(below24, 0, "no CPL below /24 for DTAG");
+    assert!(mid > 0, "bulk of changes within the /40 pool");
+    assert!(high > 0, "scrambling CPEs produce CPL >= 56 changes");
+    let total = s.cpl.total_changes();
+    assert!(
+        mid + high > total / 2,
+        "mid {mid} high {high} total {total}"
+    );
+}
+
+#[test]
+fn fig5_lgi_mode_at_44() {
+    let (_, s) = atlas().by_name("LGI").unwrap();
+    let mode = s.cpl.mode().expect("LGI has v6 changes");
+    assert!(
+        (44..=50).contains(&mode),
+        "LGI CPL mode /{mode}, paper: /44"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6, 8, 9 pool & subscriber boundaries
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig6_verified_delegation_lengths() {
+    for (name, len) in [
+        ("Orange", 56u8),
+        ("Sky U.K.", 56),
+        ("Kabel DE", 62),
+        ("Netcologne", 48),
+        ("Comcast", 60),
+    ] {
+        let (_, s) = atlas().by_name(name).expect(name);
+        assert_eq!(
+            s.inferred.mode(),
+            Some(len),
+            "{name}: expected modal inference /{len}"
+        );
+    }
+}
+
+#[test]
+fn fig6_dtag_bimodal_56_and_64() {
+    let (_, s) = atlas().by_name("DTAG").unwrap();
+    assert!(s.inferred.percentage(56) > 30.0);
+    assert!(s.inferred.percentage(64) > 15.0);
+}
+
+#[test]
+fn fig8_few_unique_slash40s_many_slash64s() {
+    // Paper: 90% of probes observe addresses from <= 3 /40s while seeing
+    // many more /64s. Index 3 of POOL_LENGTHS is /40, index 0 is /64.
+    let (_, s) = atlas().by_name("DTAG").unwrap();
+    assert!(s.pools.cdf_at(3, 5) > 0.9, "{}", s.pools.cdf_at(3, 5));
+    assert!(s.pools.median(0) > 50.0, "{}", s.pools.median(0));
+    assert!(s.pools.median(3) <= 3.0, "{}", s.pools.median(3));
+}
+
+#[test]
+fn fig9_global_spike_at_56() {
+    let g = &atlas().global_inferred;
+    assert!(g.total() > 100);
+    // /56 is the most common delegation across the simulated networks,
+    // exactly as in the paper's Figure 9.
+    assert_eq!(g.mode(), Some(56));
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2, 3, 4, 7 (CDN)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig3_fixed_durations_dwarf_mobile() {
+    let fixed: Vec<f64> = cdn()
+        .runs
+        .iter()
+        .filter(|r| !r.mobile)
+        .map(|r| r.days as f64)
+        .collect();
+    let mobile: Vec<f64> = cdn()
+        .runs
+        .iter()
+        .filter(|r| r.mobile)
+        .map(|r| r.days as f64)
+        .collect();
+    let f50 = quantile(&fixed, 0.5).unwrap();
+    let m50 = quantile(&mobile, 0.5).unwrap();
+    assert!(
+        f50 >= 15.0 * m50,
+        "fixed median {f50} vs mobile {m50} (paper: ~60x)"
+    );
+    // Mobile majority <= 1 day.
+    let short = mobile.iter().filter(|&&d| d <= 1.0).count() as f64;
+    assert!(short / mobile.len() as f64 > 0.55);
+}
+
+#[test]
+fn fig2_dtag_shorter_associations_than_comcast() {
+    let dtag = cdn().asn_by_name("DTAG").unwrap();
+    let comcast = cdn().asn_by_name("Comcast").unwrap();
+    let d = quantile(&cdn().by_asn_days[&dtag], 0.5).unwrap();
+    let c = quantile(&cdn().by_asn_days[&comcast], 0.5).unwrap();
+    assert!(d < c, "DTAG median {d} vs Comcast {c}");
+}
+
+#[test]
+fn fig4_mobile_multiplexing_degrees() {
+    let mobile_peak = cdn().mobile_degree.weighted_peak(6, 2).unwrap();
+    let fixed_peak = cdn().fixed_degree.weighted_peak(6, 2).unwrap();
+    assert!(
+        mobile_peak > 20.0 * fixed_peak,
+        "mobile {mobile_peak} vs fixed {fixed_peak} (paper: ~400x at full population)"
+    );
+    // The strong v6->v4 affinity: most mobile /64s see a single /24.
+    assert!(cdn().mobile_degree.p64_degree_one_fraction > 0.75);
+    assert!(cdn().fixed_degree.p64_degree_one_fraction > 0.85);
+}
+
+#[test]
+fn fig7_registry_signatures() {
+    use dynamips::routing::Rir;
+    let n = &cdn().nibble_by_rir;
+    let inf = |r: Rir| n.get(&r).map(|c| c.inferable_fraction()).unwrap_or(0.0);
+    // LACNIC is the low outlier; RIPE and AFRINIC are high; /56 dominates
+    // in RIPE and AFRINIC.
+    assert!(inf(Rir::Lacnic) < 0.35, "{}", inf(Rir::Lacnic));
+    assert!(inf(Rir::RipeNcc) > 0.55, "{}", inf(Rir::RipeNcc));
+    assert!(inf(Rir::Afrinic) > 0.55, "{}", inf(Rir::Afrinic));
+    assert!(inf(Rir::RipeNcc) > inf(Rir::Lacnic));
+    let ripe = n.get(&Rir::RipeNcc).unwrap().fractions();
+    assert!(
+        ripe[2] > ripe[0] && ripe[2] > ripe[1] && ripe[2] > ripe[3],
+        "/56 dominates RIPE: {ripe:?}"
+    );
+    // Mobile /64s: no consistent trailing zeros.
+    assert!(cdn().mobile_nibble.inferable_fraction() < 0.15);
+}
+
+#[test]
+fn cdn_preprocessing_accounting() {
+    let c = cdn();
+    assert!(c.raw_count > 0);
+    assert!(c.kept_count + c.discarded <= c.raw_count);
+    let kept_frac = c.kept_count as f64 / c.raw_count as f64;
+    assert!(kept_frac > 0.9 && kept_frac < 0.999, "{kept_frac}");
+    assert!(c.mobile_p64_fraction > 0.5 && c.mobile_p64_fraction < 0.85);
+}
+
+#[test]
+fn in_binary_self_check_agrees() {
+    // The `dynamips check` subcommand evaluates the same shape family;
+    // every one of its predicates must hold at this scale too.
+    let checks = dynamips::experiments::check::run_checks(atlas(), cdn());
+    assert!(checks.len() >= 20);
+    let failures: Vec<String> = checks
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| format!("{}: {} ({})", c.artifact, c.shape, c.measured))
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
