@@ -6,6 +6,18 @@
 //! ```text
 //! <probe_id> TAB <hour> TAB <af> TAB <client_ip> TAB <src_addr>
 //! ```
+//!
+//! Two parsers are provided. [`from_tsv`] is strict and fail-fast: the
+//! first malformed line aborts the parse — the right behavior for
+//! round-trip tests and internally produced dumps. [`from_tsv_lossy`]
+//! ingests real-world-shaped garbage: malformed lines are quarantined with
+//! a typed [`EchoErrorKind`] and the parse continues, duplicate records are
+//! dropped, and out-of-order records are re-sorted — each repair accounted
+//! for, in the spirit of the paper's Appendix-A.1 bookkeeping.
+
+// Ingest code must degrade, never abort: no unwraps on data-derived values
+// outside the test module.
+#![warn(clippy::unwrap_used)]
 
 use crate::series::ProbeId;
 use dynamips_netsim::SimTime;
@@ -70,106 +82,335 @@ pub fn to_tsv(probe: ProbeId, v4: &[EchoV4], v6: &[EchoV6]) -> String {
     out
 }
 
+/// Machine-readable classification of one quarantined echo TSV line, the
+/// per-class taxonomy the degradation accounting aggregates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EchoErrorKind {
+    /// Wrong number of TAB-separated fields.
+    FieldCount,
+    /// Probe id is not a `u32`.
+    BadProbeId,
+    /// Hour is not a `u64`.
+    BadHour,
+    /// Address-family field is neither `4` nor `6`.
+    BadFamily,
+    /// Client address does not parse in the line's address family (covers
+    /// garbage and mixed-family addresses alike).
+    BadClientAddr,
+    /// Source address does not parse in the line's address family.
+    BadSrcAddr,
+    /// Exact duplicate of an already-ingested record (lossy mode only; the
+    /// duplicate is dropped).
+    DuplicateRecord,
+    /// Record time regressed within its probe's stream (lossy mode only;
+    /// the record is kept and the stream re-sorted).
+    OutOfOrder,
+}
+
+impl EchoErrorKind {
+    /// Stable kebab-case label for per-class quarantine accounting.
+    pub fn class(&self) -> &'static str {
+        match self {
+            EchoErrorKind::FieldCount => "field-count",
+            EchoErrorKind::BadProbeId => "bad-probe-id",
+            EchoErrorKind::BadHour => "bad-hour",
+            EchoErrorKind::BadFamily => "bad-family",
+            EchoErrorKind::BadClientAddr => "bad-client-addr",
+            EchoErrorKind::BadSrcAddr => "bad-src-addr",
+            EchoErrorKind::DuplicateRecord => "duplicate-record",
+            EchoErrorKind::OutOfOrder => "out-of-order",
+        }
+    }
+
+    /// Whether the offending record was dropped (vs. repaired in place).
+    pub fn drops_record(&self) -> bool {
+        !matches!(self, EchoErrorKind::OutOfOrder)
+    }
+}
+
+impl std::fmt::Display for EchoErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.class())
+    }
+}
+
+impl std::error::Error for EchoErrorKind {}
+
+/// Longest prefix of the offending line kept in an error, in chars.
+pub(crate) const ERROR_LINE_TEXT_CHARS: usize = 120;
+
+/// Truncate an offending line for error context, char-boundary safe.
+pub(crate) fn truncate_line_text(line: &str) -> String {
+    if line.chars().count() <= ERROR_LINE_TEXT_CHARS {
+        line.to_string()
+    } else {
+        line.chars().take(ERROR_LINE_TEXT_CHARS).collect()
+    }
+}
+
 /// Error from parsing an echo TSV dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EchoParseError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending line's text, truncated to 120 chars.
+    pub line_text: String,
+    /// Machine-readable classification.
+    pub kind: EchoErrorKind,
     /// Description of the problem.
     pub message: String,
 }
 
 impl std::fmt::Display for EchoParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "echo TSV line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "echo TSV line {}: {} (line: {:?})",
+            self.line, self.message, self.line_text
+        )
     }
 }
 
-impl std::error::Error for EchoParseError {}
+impl std::error::Error for EchoParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
 
 /// One probe's parsed records: `(probe, v4 records, v6 records)`.
 pub type ProbeRecords = (ProbeId, Vec<EchoV4>, Vec<EchoV6>);
 
+/// One successfully parsed line.
+enum EchoLine {
+    V4(u32, EchoV4),
+    V6(u32, EchoV6),
+}
+
+/// Parse one non-blank, non-comment line.
+fn parse_echo_line(lineno: usize, line: &str) -> Result<EchoLine, EchoParseError> {
+    let err = |kind: EchoErrorKind, message: String| EchoParseError {
+        line: lineno,
+        line_text: truncate_line_text(line),
+        kind,
+        message,
+    };
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() != 5 {
+        return Err(err(
+            EchoErrorKind::FieldCount,
+            format!("expected 5 fields, got {}", fields.len()),
+        ));
+    }
+    let probe: u32 = fields[0].parse().map_err(|_| {
+        err(
+            EchoErrorKind::BadProbeId,
+            format!("bad probe id {:?}", fields[0]),
+        )
+    })?;
+    let hour: u64 = fields[1]
+        .parse()
+        .map_err(|_| err(EchoErrorKind::BadHour, format!("bad hour {:?}", fields[1])))?;
+    match fields[2] {
+        "4" => {
+            let client: Ipv4Addr = fields[3].parse().map_err(|_| {
+                err(
+                    EchoErrorKind::BadClientAddr,
+                    format!("bad IPv4 client {:?}", fields[3]),
+                )
+            })?;
+            let src: Ipv4Addr = fields[4].parse().map_err(|_| {
+                err(
+                    EchoErrorKind::BadSrcAddr,
+                    format!("bad IPv4 src {:?}", fields[4]),
+                )
+            })?;
+            Ok(EchoLine::V4(
+                probe,
+                EchoV4 {
+                    time: SimTime(hour),
+                    client,
+                    src,
+                },
+            ))
+        }
+        "6" => {
+            let client: Ipv6Addr = fields[3].parse().map_err(|_| {
+                err(
+                    EchoErrorKind::BadClientAddr,
+                    format!("bad IPv6 client {:?}", fields[3]),
+                )
+            })?;
+            let src: Ipv6Addr = fields[4].parse().map_err(|_| {
+                err(
+                    EchoErrorKind::BadSrcAddr,
+                    format!("bad IPv6 src {:?}", fields[4]),
+                )
+            })?;
+            Ok(EchoLine::V6(
+                probe,
+                EchoV6 {
+                    time: SimTime(hour),
+                    client,
+                    src,
+                },
+            ))
+        }
+        other => Err(err(
+            EchoErrorKind::BadFamily,
+            format!("bad address family {other:?}"),
+        )),
+    }
+}
+
+/// Grouping accumulator shared by the strict and lossy parsers.
+#[derive(Default)]
+struct ProbeAccumulator {
+    order: Vec<ProbeId>,
+    map: std::collections::HashMap<u32, (Vec<EchoV4>, Vec<EchoV6>)>,
+}
+
+impl ProbeAccumulator {
+    fn entry(&mut self, probe: u32) -> &mut (Vec<EchoV4>, Vec<EchoV6>) {
+        self.map.entry(probe).or_insert_with(|| {
+            self.order.push(ProbeId(probe));
+            (Vec::new(), Vec::new())
+        })
+    }
+
+    fn finish(mut self) -> Vec<ProbeRecords> {
+        self.order
+            .into_iter()
+            .filter_map(|p| self.map.remove(&p.0).map(|(v4, v6)| (p, v4, v6)))
+            .collect()
+    }
+}
+
 /// Parse a TSV dump back into per-probe measurement lists, grouped by probe
-/// id in order of first appearance.
+/// id in order of first appearance. Strict: the first malformed line aborts
+/// the parse.
 pub fn from_tsv(text: &str) -> Result<Vec<ProbeRecords>, EchoParseError> {
-    let mut order: Vec<ProbeId> = Vec::new();
-    let mut map: std::collections::HashMap<u32, (Vec<EchoV4>, Vec<EchoV6>)> =
-        std::collections::HashMap::new();
+    let mut acc = ProbeAccumulator::default();
     for (idx, line) in text.lines().enumerate() {
-        let lineno = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 5 {
-            return Err(EchoParseError {
-                line: lineno,
-                message: format!("expected 5 fields, got {}", fields.len()),
-            });
-        }
-        let probe: u32 = fields[0].parse().map_err(|_| EchoParseError {
-            line: lineno,
-            message: format!("bad probe id {:?}", fields[0]),
-        })?;
-        let hour: u64 = fields[1].parse().map_err(|_| EchoParseError {
-            line: lineno,
-            message: format!("bad hour {:?}", fields[1]),
-        })?;
-        let entry = map.entry(probe).or_insert_with(|| {
-            order.push(ProbeId(probe));
-            (Vec::new(), Vec::new())
-        });
-        match fields[2] {
-            "4" => {
-                let client: Ipv4Addr = fields[3].parse().map_err(|_| EchoParseError {
-                    line: lineno,
-                    message: format!("bad IPv4 client {:?}", fields[3]),
-                })?;
-                let src: Ipv4Addr = fields[4].parse().map_err(|_| EchoParseError {
-                    line: lineno,
-                    message: format!("bad IPv4 src {:?}", fields[4]),
-                })?;
-                entry.0.push(EchoV4 {
-                    time: SimTime(hour),
-                    client,
-                    src,
-                });
-            }
-            "6" => {
-                let client: Ipv6Addr = fields[3].parse().map_err(|_| EchoParseError {
-                    line: lineno,
-                    message: format!("bad IPv6 client {:?}", fields[3]),
-                })?;
-                let src: Ipv6Addr = fields[4].parse().map_err(|_| EchoParseError {
-                    line: lineno,
-                    message: format!("bad IPv6 src {:?}", fields[4]),
-                })?;
-                entry.1.push(EchoV6 {
-                    time: SimTime(hour),
-                    client,
-                    src,
-                });
-            }
-            other => {
-                return Err(EchoParseError {
-                    line: lineno,
-                    message: format!("bad address family {other:?}"),
-                })
-            }
+        match parse_echo_line(idx + 1, line)? {
+            EchoLine::V4(probe, r) => acc.entry(probe).0.push(r),
+            EchoLine::V6(probe, r) => acc.entry(probe).1.push(r),
         }
     }
-    Ok(order
-        .into_iter()
-        .map(|p| {
-            let (v4, v6) = map.remove(&p.0).expect("inserted above");
-            (p, v4, v6)
-        })
-        .collect())
+    Ok(acc.finish())
+}
+
+/// Parse a TSV dump, tolerating malformed input. Every malformed line is
+/// quarantined (dropped, with a typed error describing it) rather than
+/// aborting the parse; exact duplicate records are dropped; out-of-order
+/// records are kept and the per-probe streams re-sorted by time (a stable
+/// sort, so equal-time records keep file order). Returns the recovered
+/// per-probe records plus one [`EchoParseError`] per quarantine/repair
+/// event, for [`DegradationReport`] accounting downstream.
+///
+/// [`DegradationReport`]: https://docs.rs/dynamips-core
+pub fn from_tsv_lossy(text: &str) -> (Vec<ProbeRecords>, Vec<EchoParseError>) {
+    let mut acc = ProbeAccumulator::default();
+    let mut errors: Vec<EchoParseError> = Vec::new();
+    // Previous record's time per (probe, family), for out-of-order
+    // detection. Adjacent comparison on purpose: a running maximum would
+    // let a single forward-skewed timestamp flag every later record of the
+    // stream, while an adjacent inversion flags only the skew's neighbors.
+    let mut last_time: std::collections::HashMap<(u32, u8), SimTime> =
+        std::collections::HashMap::new();
+    // Seen record fingerprints, for duplicate detection.
+    let mut seen: std::collections::HashSet<(u32, u8, u64, u128, u128)> =
+        std::collections::HashSet::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = match parse_echo_line(lineno, line) {
+            Ok(p) => p,
+            Err(e) => {
+                errors.push(e);
+                continue;
+            }
+        };
+        let soft_err = |kind: EchoErrorKind, message: String| EchoParseError {
+            line: lineno,
+            line_text: truncate_line_text(line),
+            kind,
+            message,
+        };
+        let (probe, family, time, fingerprint) = match &parsed {
+            EchoLine::V4(p, r) => (
+                *p,
+                4u8,
+                r.time,
+                (
+                    *p,
+                    4u8,
+                    r.time.hours(),
+                    u32::from(r.client) as u128,
+                    u32::from(r.src) as u128,
+                ),
+            ),
+            EchoLine::V6(p, r) => (
+                *p,
+                6u8,
+                r.time,
+                (
+                    *p,
+                    6u8,
+                    r.time.hours(),
+                    u128::from(r.client),
+                    u128::from(r.src),
+                ),
+            ),
+        };
+        if !seen.insert(fingerprint) {
+            errors.push(soft_err(
+                EchoErrorKind::DuplicateRecord,
+                format!("duplicate record for probe {probe} at hour {}", time.hours()),
+            ));
+            continue;
+        }
+        match last_time.entry((probe, family)) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if time < *o.get() {
+                    errors.push(soft_err(
+                        EchoErrorKind::OutOfOrder,
+                        format!(
+                            "record at hour {} after hour {} for probe {probe}; re-sorted",
+                            time.hours(),
+                            o.get().hours()
+                        ),
+                    ));
+                }
+                o.insert(time);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(time);
+            }
+        }
+        match parsed {
+            EchoLine::V4(p, r) => acc.entry(p).0.push(r),
+            EchoLine::V6(p, r) => acc.entry(p).1.push(r),
+        }
+    }
+
+    let mut probes = acc.finish();
+    for (_, v4, v6) in &mut probes {
+        v4.sort_by_key(|r| r.time);
+        v6.sort_by_key(|r| r.time);
+    }
+    (probes, errors)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -219,16 +460,39 @@ mod tests {
     }
 
     #[test]
-    fn parse_errors_carry_line_numbers() {
+    fn parse_errors_carry_line_numbers_text_and_kind() {
         let err = from_tsv("1\t0\t4\t84.128.0.7\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.message.contains("5 fields"));
+        assert_eq!(err.kind, EchoErrorKind::FieldCount);
+        assert_eq!(err.line_text, "1\t0\t4\t84.128.0.7");
 
         let err = from_tsv("1\t0\t5\t::1\t::1\n").unwrap_err();
         assert!(err.message.contains("address family"));
+        assert_eq!(err.kind, EchoErrorKind::BadFamily);
 
         let err = from_tsv("1\t0\t4\tnot-an-ip\t192.168.1.1\n").unwrap_err();
         assert!(err.message.contains("bad IPv4 client"));
+        assert_eq!(err.kind, EchoErrorKind::BadClientAddr);
+    }
+
+    #[test]
+    fn error_line_text_truncates_to_120_chars() {
+        let long = "x".repeat(500);
+        let err = from_tsv(&long).unwrap_err();
+        assert_eq!(err.line_text.chars().count(), 120);
+        // Display carries line number, message, and the truncated text.
+        let shown = err.to_string();
+        assert!(shown.contains("line 1"));
+        assert!(!shown.contains(&long));
+    }
+
+    #[test]
+    fn error_source_is_the_kind() {
+        use std::error::Error as _;
+        let err = from_tsv("garbage line\n").unwrap_err();
+        let source = err.source().expect("source");
+        assert_eq!(source.to_string(), EchoErrorKind::FieldCount.to_string());
     }
 
     #[test]
@@ -240,5 +504,65 @@ mod tests {
     #[test]
     fn test_address_constant_matches_appendix() {
         assert_eq!(TEST_ADDRESS.to_string(), "193.0.0.78");
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_matches_strict() {
+        let (v4, v6) = sample();
+        let mut text = to_tsv(ProbeId(9), &v4, &v6);
+        text.push_str(&to_tsv(ProbeId(3), &v4, &v6));
+        let strict = from_tsv(&text).unwrap();
+        let (lossy, errors) = from_tsv_lossy(&text);
+        assert!(errors.is_empty());
+        assert_eq!(lossy, strict);
+    }
+
+    #[test]
+    fn lossy_quarantines_bad_lines_and_keeps_the_rest() {
+        let (v4, v6) = sample();
+        let good = to_tsv(ProbeId(7), &v4, &v6);
+        let text = format!("mojibake \u{fffd}\u{fffd}\n{good}9\tnot-a-number\t4\t1.2.3.4\t10.0.0.1\n");
+        let (lossy, errors) = from_tsv_lossy(&text);
+        assert_eq!(lossy, from_tsv(&good).unwrap());
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].kind, EchoErrorKind::FieldCount);
+        assert_eq!(errors[1].kind, EchoErrorKind::BadHour);
+        assert_eq!(errors[1].line, 5);
+    }
+
+    #[test]
+    fn lossy_drops_duplicates_with_accounting() {
+        let (v4, v6) = sample();
+        let good = to_tsv(ProbeId(7), &v4, &v6);
+        let text = format!("{good}{good}");
+        let (lossy, errors) = from_tsv_lossy(&text);
+        assert_eq!(lossy, from_tsv(&good).unwrap());
+        assert_eq!(errors.len(), v4.len() + v6.len());
+        assert!(errors
+            .iter()
+            .all(|e| e.kind == EchoErrorKind::DuplicateRecord));
+    }
+
+    #[test]
+    fn lossy_resorts_out_of_order_records() {
+        let text = "1\t5\t4\t84.1.1.1\t192.168.1.2\n\
+                    1\t2\t4\t84.1.1.1\t192.168.1.2\n\
+                    1\t9\t4\t84.1.1.1\t192.168.1.2\n";
+        let (lossy, errors) = from_tsv_lossy(text);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, EchoErrorKind::OutOfOrder);
+        assert!(!errors[0].kind.drops_record());
+        let times: Vec<u64> = lossy[0].1.iter().map(|r| r.time.hours()).collect();
+        assert_eq!(times, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn lossy_mixed_family_address_is_quarantined() {
+        // A v6 address on an af=4 line: bad client address.
+        let text = "1\t0\t4\t2003::1\t192.168.1.2\n";
+        let (lossy, errors) = from_tsv_lossy(text);
+        assert!(lossy.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].kind, EchoErrorKind::BadClientAddr);
     }
 }

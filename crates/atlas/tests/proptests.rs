@@ -1,6 +1,6 @@
 //! Property tests for the IP-echo TSV serialization.
 
-use dynamips_atlas::records::{from_tsv, to_tsv, EchoV4, EchoV6};
+use dynamips_atlas::records::{from_tsv, from_tsv_lossy, to_tsv, EchoErrorKind, EchoV4, EchoV6};
 use dynamips_atlas::ProbeId;
 use dynamips_netsim::SimTime;
 use proptest::prelude::*;
@@ -76,5 +76,57 @@ proptest! {
             let records: usize = parsed.iter().map(|(_, a, b)| a.len() + b.len()).sum();
             prop_assert!(records <= v4.len(), "truncation must not add records");
         }
+    }
+
+    #[test]
+    fn lossy_parser_never_panics_on_garbage(text in "[ -~\n\t]{0,400}") {
+        // Quarantines are fine; panics are not.
+        let (_, errors) = from_tsv_lossy(&text);
+        for e in &errors {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.line_text.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn mutated_dumps_never_panic_and_attribute_every_drop(
+        probe in any::<u32>(),
+        v4 in arb_v4(),
+        v6 in arb_v6(),
+        muts in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        prop_assume!(!v4.is_empty() || !v6.is_empty());
+        let mut bytes = to_tsv(ProbeId(probe), &v4, &v6).into_bytes();
+        for (pos, val) in muts {
+            let at = pos % bytes.len();
+            bytes[at] = val;
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+
+        // Strict mode: errors are fine, panics are not — and any
+        // destructive quarantine in lossy mode implies strict refusal.
+        let strict = from_tsv(&mutated);
+        let (recovered, errors) = from_tsv_lossy(&mutated);
+        if errors.iter().any(|e| {
+            !matches!(
+                e.kind,
+                EchoErrorKind::DuplicateRecord | EchoErrorKind::OutOfOrder
+            )
+        }) {
+            prop_assert!(strict.is_err(), "lossy quarantined a line strict accepted");
+        }
+
+        // Conservation: every content line becomes a record or exactly one
+        // record-dropping error.
+        let content = mutated
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .count();
+        let records: usize = recovered.iter().map(|(_, a, b)| a.len() + b.len()).sum();
+        let dropped = errors.iter().filter(|e| e.kind.drops_record()).count();
+        prop_assert_eq!(records + dropped, content);
     }
 }

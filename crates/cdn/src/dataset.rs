@@ -1,5 +1,9 @@
 //! The aggregated association dataset.
 
+// Ingest code must degrade, never abort: no unwraps on data-derived values
+// outside the test module.
+#![warn(clippy::unwrap_used)]
+
 use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
 use dynamips_routing::Asn;
 
@@ -90,75 +94,202 @@ pub fn to_tsv(ds: &AssociationDataset) -> String {
     out
 }
 
+/// Machine-readable classification of one quarantined association TSV
+/// line, the per-class taxonomy the degradation accounting aggregates
+/// over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AssociationErrorKind {
+    /// Wrong number of TAB-separated fields.
+    FieldCount,
+    /// The IPv4 /24 network does not parse (covers garbage and
+    /// mixed-family addresses alike).
+    BadV24,
+    /// The IPv6 /64 network does not parse.
+    BadP64,
+    /// Day index is not a `u32`.
+    BadDay,
+    /// Origin AS is not a `u32`.
+    BadAsn,
+    /// Access-type flag is neither `0` nor `1`.
+    BadMobileFlag,
+    /// Exact duplicate of an already-ingested tuple (lossy mode only; the
+    /// duplicate is dropped).
+    DuplicateRecord,
+}
+
+impl AssociationErrorKind {
+    /// Stable kebab-case label for per-class quarantine accounting.
+    pub fn class(&self) -> &'static str {
+        match self {
+            AssociationErrorKind::FieldCount => "field-count",
+            AssociationErrorKind::BadV24 => "bad-v24",
+            AssociationErrorKind::BadP64 => "bad-p64",
+            AssociationErrorKind::BadDay => "bad-day",
+            AssociationErrorKind::BadAsn => "bad-asn",
+            AssociationErrorKind::BadMobileFlag => "bad-mobile-flag",
+            AssociationErrorKind::DuplicateRecord => "duplicate-record",
+        }
+    }
+}
+
+impl std::fmt::Display for AssociationErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.class())
+    }
+}
+
+impl std::error::Error for AssociationErrorKind {}
+
+/// Longest prefix of the offending line kept in an error, in chars.
+const ERROR_LINE_TEXT_CHARS: usize = 120;
+
+fn truncate_line_text(line: &str) -> String {
+    if line.chars().count() <= ERROR_LINE_TEXT_CHARS {
+        line.to_string()
+    } else {
+        line.chars().take(ERROR_LINE_TEXT_CHARS).collect()
+    }
+}
+
 /// Error from parsing an association TSV dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AssociationParseError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending line's text, truncated to 120 chars.
+    pub line_text: String,
+    /// Machine-readable classification.
+    pub kind: AssociationErrorKind,
     /// Description.
     pub message: String,
 }
 
 impl std::fmt::Display for AssociationParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "association TSV line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "association TSV line {}: {} (line: {:?})",
+            self.line, self.message, self.line_text
+        )
     }
 }
 
-impl std::error::Error for AssociationParseError {}
+impl std::error::Error for AssociationParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
+
+/// Parse one non-blank, non-comment line.
+fn parse_association_line(
+    lineno: usize,
+    line: &str,
+) -> Result<Association, AssociationParseError> {
+    let err = |kind: AssociationErrorKind, message: String| AssociationParseError {
+        line: lineno,
+        line_text: truncate_line_text(line),
+        kind,
+        message,
+    };
+    let f: Vec<&str> = line.split('\t').collect();
+    if f.len() != 5 {
+        return Err(err(
+            AssociationErrorKind::FieldCount,
+            format!("expected 5 fields, got {}", f.len()),
+        ));
+    }
+    let v24: Ipv4Prefix = format!("{}/24", f[0])
+        .parse()
+        .map_err(|e| err(AssociationErrorKind::BadV24, format!("bad /24: {e}")))?;
+    let p64: Ipv6Prefix = format!("{}/64", f[1])
+        .parse()
+        .map_err(|e| err(AssociationErrorKind::BadP64, format!("bad /64: {e}")))?;
+    let day: u32 = f[2]
+        .parse()
+        .map_err(|_| err(AssociationErrorKind::BadDay, format!("bad day {:?}", f[2])))?;
+    let asn: u32 = f[3]
+        .parse()
+        .map_err(|_| err(AssociationErrorKind::BadAsn, format!("bad asn {:?}", f[3])))?;
+    let mobile = match f[4] {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(err(
+                AssociationErrorKind::BadMobileFlag,
+                format!("bad mobile flag {other:?}"),
+            ))
+        }
+    };
+    Ok(Association {
+        v24,
+        p64,
+        day,
+        asn: Asn(asn),
+        mobile,
+    })
+}
 
 /// Parse an association TSV dump. Blank lines and `#` comments are
 /// ignored. Pre-processing counters are not serialized; the returned
-/// dataset's `raw_count` equals its tuple count.
+/// dataset's `raw_count` equals its tuple count. Strict: the first
+/// malformed line aborts the parse.
 pub fn from_tsv(text: &str) -> Result<AssociationDataset, AssociationParseError> {
     let mut ds = AssociationDataset::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        ds.tuples.push(parse_association_line(idx + 1, line)?);
+    }
+    ds.raw_count = ds.tuples.len() as u64;
+    Ok(ds)
+}
+
+/// Parse an association TSV dump, tolerating malformed input. Malformed
+/// lines are quarantined (dropped, with a typed error describing them)
+/// rather than aborting the parse, and exact duplicate tuples are dropped
+/// with accounting. Tuple order is immaterial downstream (run detection
+/// sorts per /64), so out-of-order input needs no repair here. Returns the
+/// recovered dataset plus one [`AssociationParseError`] per quarantined
+/// line.
+pub fn from_tsv_lossy(text: &str) -> (AssociationDataset, Vec<AssociationParseError>) {
+    let mut ds = AssociationDataset::default();
+    let mut errors: Vec<AssociationParseError> = Vec::new();
+    let mut seen: std::collections::HashSet<(u32, u128, u32, u32, bool)> =
+        std::collections::HashSet::new();
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 5 {
-            return Err(AssociationParseError {
-                line: lineno,
-                message: format!("expected 5 fields, got {}", f.len()),
-            });
+        match parse_association_line(lineno, line) {
+            Ok(t) => {
+                if seen.insert((t.v24.bits(), t.p64.bits(), t.day, t.asn.0, t.mobile)) {
+                    ds.tuples.push(t);
+                } else {
+                    errors.push(AssociationParseError {
+                        line: lineno,
+                        line_text: truncate_line_text(line),
+                        kind: AssociationErrorKind::DuplicateRecord,
+                        message: format!(
+                            "duplicate tuple for {} on day {}",
+                            t.p64.network(),
+                            t.day
+                        ),
+                    });
+                }
+            }
+            Err(e) => errors.push(e),
         }
-        let err = |message: String| AssociationParseError {
-            line: lineno,
-            message,
-        };
-        let v24: Ipv4Prefix = format!("{}/24", f[0])
-            .parse()
-            .map_err(|e| err(format!("bad /24: {e}")))?;
-        let p64: Ipv6Prefix = format!("{}/64", f[1])
-            .parse()
-            .map_err(|e| err(format!("bad /64: {e}")))?;
-        let day: u32 = f[2]
-            .parse()
-            .map_err(|_| err(format!("bad day {:?}", f[2])))?;
-        let asn: u32 = f[3]
-            .parse()
-            .map_err(|_| err(format!("bad asn {:?}", f[3])))?;
-        let mobile = match f[4] {
-            "0" => false,
-            "1" => true,
-            other => return Err(err(format!("bad mobile flag {other:?}"))),
-        };
-        ds.tuples.push(Association {
-            v24,
-            p64,
-            day,
-            asn: Asn(asn),
-            mobile,
-        });
     }
     ds.raw_count = ds.tuples.len() as u64;
-    Ok(ds)
+    (ds, errors)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -230,15 +361,68 @@ mod tests {
 
     #[test]
     fn tsv_parse_errors() {
-        assert_eq!(from_tsv("a\tb\tc\n").unwrap_err().line, 1);
+        let err = from_tsv("a\tb\tc\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, AssociationErrorKind::FieldCount);
+        assert_eq!(err.line_text, "a\tb\tc");
         let bad_flag = "84.128.0.0\t2003::\t1\t3320\t7\n";
-        assert!(from_tsv(bad_flag)
-            .unwrap_err()
-            .message
-            .contains("mobile flag"));
+        let err = from_tsv(bad_flag).unwrap_err();
+        assert!(err.message.contains("mobile flag"));
+        assert_eq!(err.kind, AssociationErrorKind::BadMobileFlag);
         let bad_p64 = "84.128.0.0\tnot-v6\t1\t3320\t0\n";
         assert!(from_tsv(bad_p64).unwrap_err().message.contains("bad /64"));
         // Comments and blanks are fine.
         assert!(from_tsv("# header\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_line_text_truncates_and_source_is_the_kind() {
+        use std::error::Error as _;
+        let long = "y".repeat(400);
+        let err = from_tsv(&long).unwrap_err();
+        assert_eq!(err.line_text.chars().count(), 120);
+        assert_eq!(
+            err.source().expect("source").to_string(),
+            AssociationErrorKind::FieldCount.to_string()
+        );
+    }
+
+    #[test]
+    fn lossy_parse_of_clean_input_matches_strict() {
+        let ds = AssociationDataset {
+            tuples: vec![
+                assoc("84.128.0.0/24", "2003:40:a0:aa00::/64", 2191, 3320, false),
+                assoc("92.40.2.0/24", "2a01:4c80:1:2::/64", 2200, 12576, true),
+            ],
+            raw_count: 2,
+            ..Default::default()
+        };
+        let text = to_tsv(&ds);
+        let (lossy, errors) = from_tsv_lossy(&text);
+        assert!(errors.is_empty());
+        assert_eq!(lossy.tuples, from_tsv(&text).unwrap().tuples);
+    }
+
+    #[test]
+    fn lossy_quarantines_bad_lines_and_drops_duplicates() {
+        let good = "84.128.0.0\t2003:40:a0:aa00::\t5\t3320\t0";
+        let text = format!(
+            "garbage\n{good}\n{good}\n84.128.1.0\t2003::\tnot-a-day\t3320\t1\n\
+             2003::1\t2003::\t1\t3320\t0\n"
+        );
+        let (lossy, errors) = from_tsv_lossy(&text);
+        assert_eq!(lossy.len(), 1);
+        let kinds: Vec<_> = errors.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AssociationErrorKind::FieldCount,
+                AssociationErrorKind::DuplicateRecord,
+                AssociationErrorKind::BadDay,
+                // v6 address in the v24 column: mixed address family.
+                AssociationErrorKind::BadV24,
+            ]
+        );
+        assert_eq!(errors[1].line, 3);
     }
 }

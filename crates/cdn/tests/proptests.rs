@@ -1,6 +1,6 @@
 //! Property tests for the association-dataset TSV serialization.
 
-use dynamips_cdn::dataset::{from_tsv, to_tsv};
+use dynamips_cdn::dataset::{from_tsv, from_tsv_lossy, to_tsv, AssociationErrorKind};
 use dynamips_cdn::{Association, AssociationDataset};
 use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
 use dynamips_routing::Asn;
@@ -57,5 +57,54 @@ proptest! {
         prop_assert!(uniques >= 1 && uniques <= ds.len());
         let frac = ds.mobile_p64_fraction();
         prop_assert!((0.0..=1.0).contains(&frac));
+    }
+
+    #[test]
+    fn lossy_parser_never_panics_on_garbage(text in "[ -~\n\t]{0,400}") {
+        let (_, errors) = from_tsv_lossy(&text);
+        for e in &errors {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.line_text.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn mutated_dumps_never_panic_and_attribute_every_drop(
+        tuples in proptest::collection::vec(arb_association(), 1..60),
+        muts in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let ds = AssociationDataset {
+            raw_count: tuples.len() as u64,
+            tuples,
+            ..Default::default()
+        };
+        let mut bytes = to_tsv(&ds).into_bytes();
+        for (pos, val) in muts {
+            let at = pos % bytes.len();
+            bytes[at] = val;
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+
+        // Strict mode: errors are fine, panics are not — and any
+        // non-duplicate quarantine in lossy mode implies strict refusal.
+        let strict = from_tsv(&mutated);
+        let (recovered, errors) = from_tsv_lossy(&mutated);
+        if errors
+            .iter()
+            .any(|e| e.kind != AssociationErrorKind::DuplicateRecord)
+        {
+            prop_assert!(strict.is_err(), "lossy quarantined a line strict accepted");
+        }
+
+        // Conservation: every content line becomes a tuple or exactly one
+        // quarantine error.
+        let content = mutated
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            })
+            .count();
+        prop_assert_eq!(recovered.len() + errors.len(), content);
     }
 }

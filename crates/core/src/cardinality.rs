@@ -48,7 +48,7 @@ impl DegreeStats {
         let (idx, &max) = dens
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))?;
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
         if max <= 0.0 {
             return None;
         }

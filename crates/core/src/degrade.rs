@@ -1,0 +1,149 @@
+//! Degradation accounting threaded through the analysis pipeline.
+//!
+//! When the pipeline ingests possibly-corrupted data (lossy TSV loaders,
+//! sanitizer rejections, association-filter discards), every dropped or
+//! repaired record is attributed to a `(stage, class)` pair and counted
+//! here, in the spirit of the paper's Appendix-A.1 accounting. The report
+//! uses plain string keys so any crate in the pipeline (atlas ingest, CDN
+//! ingest, core analyses) can contribute without type coupling.
+
+use std::collections::BTreeMap;
+
+/// Per-`(stage, class)` quarantine/repair counters for one end-to-end
+/// analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    counts: BTreeMap<(String, String), u64>,
+}
+
+impl DegradationReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one event of `class` at pipeline `stage`.
+    pub fn record(&mut self, stage: &str, class: &str) {
+        self.record_many(stage, class, 1);
+    }
+
+    /// Count `n` events of `class` at pipeline `stage`.
+    pub fn record_many(&mut self, stage: &str, class: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .counts
+            .entry((stage.to_string(), class.to_string()))
+            .or_insert(0) += n;
+    }
+
+    /// Fold another report's counters into this one.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        for ((stage, class), n) in &other.counts {
+            self.record_many(stage, class, *n);
+        }
+    }
+
+    /// Events of `class` at `stage`.
+    pub fn count(&self, stage: &str, class: &str) -> u64 {
+        self.counts
+            .get(&(stage.to_string(), class.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total events across all classes of one stage.
+    pub fn stage_total(&self, stage: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((s, _), _)| s == stage)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total events across the whole pipeline.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether nothing was quarantined or repaired anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate `(stage, class, count)` in stable (sorted) order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counts
+            .iter()
+            .map(|((s, c), n)| (s.as_str(), c.as_str(), *n))
+    }
+
+    /// Render as an aligned text table, one `(stage, class)` per row.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "{:<14} {:<22} {:>10}", "stage", "class", "count").expect("string write");
+        if self.counts.is_empty() {
+            writeln!(out, "(clean: no records quarantined or repaired)").expect("string write");
+            return out;
+        }
+        for (stage, class, n) in self.entries() {
+            writeln!(out, "{stage:<14} {class:<22} {n:>10}").expect("string write");
+        }
+        writeln!(out, "{:<14} {:<22} {:>10}", "total", "", self.total()).expect("string write");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_stage_and_class() {
+        let mut r = DegradationReport::new();
+        assert!(r.is_clean());
+        r.record("ingest-atlas", "bad-hour");
+        r.record_many("ingest-atlas", "bad-hour", 2);
+        r.record("sanitize", "test-address");
+        assert_eq!(r.count("ingest-atlas", "bad-hour"), 3);
+        assert_eq!(r.count("ingest-atlas", "missing"), 0);
+        assert_eq!(r.stage_total("ingest-atlas"), 3);
+        assert_eq!(r.total(), 4);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn zero_counts_are_not_recorded() {
+        let mut r = DegradationReport::new();
+        r.record_many("ingest-cdn", "bad-day", 0);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn merge_folds_counters() {
+        let mut a = DegradationReport::new();
+        a.record("ingest-atlas", "field-count");
+        let mut b = DegradationReport::new();
+        b.record("ingest-atlas", "field-count");
+        b.record("ingest-cdn", "bad-v24");
+        a.merge(&b);
+        assert_eq!(a.count("ingest-atlas", "field-count"), 2);
+        assert_eq!(a.count("ingest-cdn", "bad-v24"), 1);
+    }
+
+    #[test]
+    fn render_is_stable_and_totalled() {
+        let mut r = DegradationReport::new();
+        r.record("sanitize", "bad-tag");
+        r.record_many("ingest-atlas", "out-of-order", 5);
+        let text = r.render();
+        let ingest_pos = text.find("ingest-atlas").unwrap();
+        let sanitize_pos = text.find("sanitize").unwrap();
+        assert!(ingest_pos < sanitize_pos, "sorted by stage");
+        assert!(text.contains("total"));
+        assert!(text.lines().last().unwrap().contains('6'));
+        assert!(DegradationReport::new().render().contains("clean"));
+    }
+}

@@ -22,6 +22,8 @@
 //!   (Figures 6, 7 and 9, Section 5.3).
 //! * [`stats`] — CDF/quantile/boxplot/log-density helpers shared by the
 //!   analyses.
+//! * [`degrade`] — per-(stage, class) quarantine accounting threaded
+//!   through the pipeline when ingesting possibly-corrupted data.
 //! * [`report`] — plain-text table and bar-chart rendering for the
 //!   experiment harness.
 //!
@@ -49,6 +51,7 @@ pub mod blocklist;
 pub mod cardinality;
 pub mod changes;
 pub mod counting;
+pub mod degrade;
 pub mod dualstack;
 pub mod durations;
 pub mod evolution;
@@ -64,4 +67,5 @@ pub mod targetgen;
 pub mod tracking;
 
 pub use changes::{ProbeHistory, Span};
+pub use degrade::DegradationReport;
 pub use sanitize::{sanitize_probe, SanitizeConfig, SanitizeOutcome, SanitizeReport};

@@ -59,6 +59,20 @@ pub enum RejectReason {
     NoData,
 }
 
+impl RejectReason {
+    /// Stable kebab-case label for degradation accounting
+    /// ([`crate::degrade::DegradationReport`]).
+    pub fn class(&self) -> &'static str {
+        match self {
+            RejectReason::BadTag => "bad-tag",
+            RejectReason::AtypicalNat => "atypical-nat",
+            RejectReason::Multihomed => "multihomed",
+            RejectReason::TooShort => "too-short",
+            RejectReason::NoData => "no-data",
+        }
+    }
+}
+
 /// Per-filter accounting, mirroring the Appendix's bookkeeping.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SanitizeReport {

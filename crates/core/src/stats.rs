@@ -1,19 +1,25 @@
 //! Statistics helpers shared by the analyses.
 
 /// Empirical quantile (linear interpolation between order statistics),
-/// `q` in `[0, 1]`. Returns `None` on empty input. Input need not be sorted.
+/// `q` in `[0, 1]`. Returns `None` on empty input. Input need not be
+/// sorted. NaN values sort to the extremes (IEEE total order) rather than
+/// panicking, so corrupted inputs degrade instead of aborting.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
-/// Quantile over an already-sorted slice.
+/// Quantile over an already-sorted slice. An empty slice yields NaN
+/// (rather than panicking); prefer [`quantile`] when emptiness is
+/// possible.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -51,7 +57,7 @@ impl BoxStats {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(BoxStats {
             p5: quantile_sorted(&sorted, 0.05),
             p25: quantile_sorted(&sorted, 0.25),
@@ -70,7 +76,7 @@ pub fn cdf_at(values: &[f64], thresholds: &[f64]) -> Vec<f64> {
         return vec![0.0; thresholds.len()];
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     thresholds
         .iter()
         .map(|t| {
@@ -89,7 +95,7 @@ pub fn weighted_cdf_at(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
         return vec![0.0; thresholds.len()];
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     thresholds
         .iter()
         .map(|t| {

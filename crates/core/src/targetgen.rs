@@ -75,7 +75,7 @@ impl NibbleModel {
                     next.push(((bits << 4) | v, logp + p.ln()));
                 }
             }
-            next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaNs"));
+            next.sort_by(|a, b| b.1.total_cmp(&a.1));
             next.truncate(beam);
             partials = next;
         }
@@ -133,7 +133,7 @@ pub fn sixgen_targets(seeds: &[Ipv6Prefix], min_cluster_len: u8, limit: usize) -
     clusters.sort_by(|a, b| {
         let da = a.seeds as f64 / a.cover.num_subprefixes(64).unwrap_or(u64::MAX) as f64;
         let db = b.seeds as f64 / b.cover.num_subprefixes(64).unwrap_or(u64::MAX) as f64;
-        db.partial_cmp(&da).expect("no NaNs")
+        db.total_cmp(&da)
     });
 
     let mut out: Vec<Ipv6Prefix> = Vec::with_capacity(limit);

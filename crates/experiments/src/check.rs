@@ -216,6 +216,12 @@ pub fn run_checks(a: &AtlasAnalysis, c: &CdnAnalysis) -> Vec<ShapeCheck> {
 
 /// Render the check table; the final line summarizes pass/fail counts.
 pub fn render(a: &AtlasAnalysis, c: &CdnAnalysis) -> String {
+    render_and_ok(a, c).0
+}
+
+/// Like [`render`], but also report whether every shape held — the binary
+/// turns a failed self-check into exit code 1.
+pub fn render_and_ok(a: &AtlasAnalysis, c: &CdnAnalysis) -> (String, bool) {
     let checks = run_checks(a, c);
     let mut t = TextTable::new(&["artifact", "shape", "measured", "result"]);
     let mut passed = 0usize;
@@ -230,12 +236,13 @@ pub fn render(a: &AtlasAnalysis, c: &CdnAnalysis) -> String {
             if ch.pass { "PASS" } else { "FAIL" }.to_string(),
         ]);
     }
-    format!(
+    let text = format!(
         "Paper-shape self-check ({} of {} shapes hold):\n\n{}",
         passed,
         checks.len(),
         t.render()
-    )
+    );
+    (text, passed == checks.len())
 }
 
 #[cfg(test)]

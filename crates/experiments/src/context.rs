@@ -1,10 +1,11 @@
 //! Shared analysis products for the experiment harness.
 
-use dynamips_atlas::{AtlasCollector, AtlasConfig};
-use dynamips_cdn::{CdnCollector, CdnConfig};
+use dynamips_atlas::{AtlasCollector, AtlasConfig, ProbeSeries};
+use dynamips_cdn::{AssociationDataset, CdnCollector, CdnConfig};
 use dynamips_core::association::{association_runs, AssociationRun};
 use dynamips_core::cardinality::{degree_stats, DegreeStats};
 use dynamips_core::changes::sandwiched_durations;
+use dynamips_core::degrade::DegradationReport;
 use dynamips_core::dualstack::{co_occurrence, labeled_v4_durations, CoOccurrence};
 use dynamips_core::durations::{detect_period, DurationSet};
 use dynamips_core::pools::PoolAccumulator;
@@ -13,6 +14,7 @@ use dynamips_core::spatial::{CplHistogram, CrossingStats};
 use dynamips_core::subscriber::{InferredLenDistribution, NibbleCounter};
 use dynamips_netsim::profiles::{atlas_world, cdn_world};
 use dynamips_netsim::time::Window;
+use dynamips_netsim::World;
 use dynamips_routing::{Asn, Rir};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -105,6 +107,43 @@ impl AtlasAnalysis {
         let world = atlas_world(cfg.seed, cfg.atlas_scale);
         let window = Window::atlas_paper();
         let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
+        let mut degradation = DegradationReport::new();
+        Self::compute_with(
+            &world,
+            window,
+            |sink| collector.for_each_probe(sink),
+            &mut degradation,
+        )
+    }
+
+    /// Sanitize and accumulate pre-built probe series (e.g. recovered from
+    /// a possibly-corrupted TSV dump by the lossy loader) against `world`'s
+    /// routing and registry. Sanitizer rejections are recorded in
+    /// `degradation` under stage `"sanitize"` with the
+    /// [`dynamips_core::sanitize::RejectReason::class`] labels.
+    pub fn compute_from_series(
+        world: &World,
+        window: Window,
+        series: impl IntoIterator<Item = ProbeSeries>,
+        degradation: &mut DegradationReport,
+    ) -> AtlasAnalysis {
+        Self::compute_with(
+            world,
+            window,
+            |sink| series.into_iter().for_each(sink),
+            degradation,
+        )
+    }
+
+    /// Streaming core shared by [`AtlasAnalysis::compute`] (collector-fed)
+    /// and [`AtlasAnalysis::compute_from_series`] (loader-fed): `for_each`
+    /// drives every probe series through the sink exactly once.
+    pub fn compute_with(
+        world: &World,
+        window: Window,
+        for_each: impl FnOnce(&mut dyn FnMut(ProbeSeries)),
+        degradation: &mut DegradationReport,
+    ) -> AtlasAnalysis {
         let sanitize_cfg = SanitizeConfig::default();
 
         let mut per_as: BTreeMap<Asn, AsStats> = BTreeMap::new();
@@ -117,10 +156,14 @@ impl AtlasAnalysis {
         let mut global_inferred = InferredLenDistribution::new();
         let routing = world.routing();
 
-        collector.for_each_probe(|series| {
+        let mut sink = |series: ProbeSeries| {
             let outcome = sanitize_probe(&series, routing, &sanitize_cfg, &mut report);
-            let SanitizeOutcome::Clean(histories) = outcome else {
-                return;
+            let histories = match outcome {
+                SanitizeOutcome::Clean(histories) => histories,
+                SanitizeOutcome::Rejected(reason) => {
+                    degradation.record("sanitize", reason.class());
+                    return;
+                }
             };
             for h in &histories {
                 let stats = per_as.entry(h.asn).or_default();
@@ -166,7 +209,16 @@ impl AtlasAnalysis {
                     global_inferred.add_probe(h);
                 }
             }
-        });
+        };
+        for_each(&mut sink);
+
+        // Stripped test-address records are repairs, not probe rejections,
+        // so they are only visible through the sanitize report.
+        degradation.record_many(
+            "sanitize",
+            "test-address-record",
+            report.test_address_records as u64,
+        );
 
         AtlasAnalysis {
             per_as,
@@ -243,9 +295,25 @@ impl CdnAnalysis {
         let world = cdn_world(cfg.seed, cfg.cdn_scale);
         let window = Window::cdn_paper();
         let dataset = CdnCollector::new(&world, window, CdnConfig::default()).collect();
+        let mut degradation = DegradationReport::new();
+        Self::compute_from_dataset(&world, &dataset, &mut degradation)
+    }
 
-        let runs = association_runs(&dataset, MAX_GAP_DAYS);
-        let (fixed_degree, mobile_degree) = degree_stats(&dataset);
+    /// Run every CDN-side analysis over a pre-built association dataset
+    /// (e.g. recovered from a possibly-corrupted TSV dump by the lossy
+    /// loader) against `world`'s RIR map and registry. The dataset's
+    /// pre-processing discards are recorded in `degradation` under stage
+    /// `"association"`.
+    pub fn compute_from_dataset(
+        world: &World,
+        dataset: &AssociationDataset,
+        degradation: &mut DegradationReport,
+    ) -> CdnAnalysis {
+        degradation.record_many("association", "as-mismatch", dataset.discarded_as_mismatch);
+        degradation.record_many("association", "unrouted", dataset.discarded_unrouted);
+
+        let runs = association_runs(dataset, MAX_GAP_DAYS);
+        let (fixed_degree, mobile_degree) = degree_stats(dataset);
 
         // Unique-/64 trailing-zero classification per RIR (fixed) and
         // overall (mobile).

@@ -9,13 +9,17 @@
 //!   association dataset and accumulates the CDN artifacts (Figures 2–4, 7).
 //!
 //! Each `table*`/`fig*` module renders one artifact from those products as
-//! plain text in the paper's layout.
+//! plain text in the paper's layout. The [`chaos`] module drives the
+//! adversarial-ingest sweep (`dynamips chaos`): corrupt the TSV dumps,
+//! re-ingest through the lossy loaders, and verify the paper shapes
+//! survive.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod atlas_exps;
 pub mod cdn_exps;
+pub mod chaos;
 pub mod check;
 pub mod claims;
 pub mod context;

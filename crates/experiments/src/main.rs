@@ -4,10 +4,15 @@
 //! dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...
 //! dynamips all            # everything
 //! dynamips table1 fig5    # a subset
+//! dynamips chaos --rate 0.01 --seeds 5   # adversarial-ingest sweep
 //! ```
+//!
+//! Exit codes: `0` on success, `1` on a run failure (I/O error, failed
+//! `check` predicates, failed `chaos` sweep), `2` on a usage error.
 
 use dynamips_experiments::{
-    atlas_exps, cdn_exps, check, claims, extended, AtlasAnalysis, CdnAnalysis, ExperimentConfig,
+    atlas_exps, cdn_exps, chaos, check, claims, extended, AtlasAnalysis, CdnAnalysis,
+    ExperimentConfig,
 };
 
 const ATLAS_ARTIFACTS: [&str; 7] = ["table1", "fig1", "fig5", "fig6", "fig8", "fig9", "table2"];
@@ -24,46 +29,65 @@ const EXTENDED_ARTIFACTS: [&str; 9] = [
     "sanitizer",
 ];
 
+/// Exit code for usage errors (bad flags, unknown artifacts).
+const EXIT_USAGE: i32 = 2;
+/// Exit code for run failures (I/O, failed check/chaos assertions).
+const EXIT_RUN_FAILURE: i32 = 1;
+
 fn usage() -> ! {
     eprintln!(
         "usage: dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...\n\
          artifacts: {} {} claims check all\n\
          extended:  {} (run their own focused worlds)\n\
          datasets:  dump-atlas <path> | dump-cdn <path>\n\
+         chaos:     chaos [--rate R]... [--seeds N] [--fail-threshold T]\n\
+         \x20          (corrupt the TSV dumps, re-ingest through the lossy\n\
+         \x20          loaders, verify the paper shapes survive; defaults to\n\
+         \x20          the reference scale: seed 2020, scales 0.2/0.15)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
-         extra:     seeds (robustness across seeds; not part of `all`)",
+         extra:     seeds (robustness across seeds; not part of `all`)\n\
+         exit code: 0 success, 1 run failure (I/O, failed check or chaos), 2 usage",
         ATLAS_ARTIFACTS.join(" "),
         CDN_ARTIFACTS.join(" "),
         EXTENDED_ARTIFACTS.join(" "),
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 fn main() {
-    let mut cfg = ExperimentConfig::default();
+    // Flags are collected as overrides so subcommands can pick their own
+    // defaults (chaos defaults to the reference scale, artifacts to the
+    // paper scale).
+    let mut seed: Option<u64> = None;
+    let mut atlas_scale: Option<f64> = None;
+    let mut cdn_scale: Option<f64> = None;
+    let mut chaos_opts = chaos::ChaosOptions::default();
+    let mut chaos_rates: Vec<f64> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_dir = Some(args.next().map(Into::into).unwrap_or_else(|| usage())),
-            "--seed" => {
-                cfg.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--seed" => seed = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
             "--atlas-scale" => {
-                cfg.atlas_scale = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                atlas_scale = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--cdn-scale" => {
-                cfg.cdn_scale = args
-                    .next()
+                cdn_scale = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--rate" => chaos_rates.push(
+                args.next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage()),
+            ),
+            "--seeds" => {
+                chaos_opts.seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--fail-threshold" => {
+                chaos_opts.fail_threshold =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -73,6 +97,46 @@ fn main() {
     if wanted.is_empty() {
         usage();
     }
+
+    let mut cfg = ExperimentConfig::default();
+
+    // The chaos sweep takes over the whole invocation.
+    if wanted[0] == "chaos" {
+        if wanted.len() != 1 {
+            usage();
+        }
+        // Reference scale: the smallest configuration whose shape
+        // predicates are all known to hold on uncorrupted data.
+        cfg = ExperimentConfig {
+            seed: seed.unwrap_or(2020),
+            atlas_scale: atlas_scale.unwrap_or(0.2),
+            cdn_scale: cdn_scale.unwrap_or(0.15),
+        };
+        if !chaos_rates.is_empty() {
+            chaos_opts.rates = chaos_rates;
+        }
+        eprintln!(
+            "[dynamips] chaos sweep over rates {:?} ({} seeds each)...",
+            chaos_opts.rates, chaos_opts.seeds
+        );
+        let outcome = chaos::run(&cfg, &chaos_opts);
+        println!("{}", outcome.text);
+        if !outcome.ok {
+            std::process::exit(EXIT_RUN_FAILURE);
+        }
+        return;
+    }
+
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(s) = atlas_scale {
+        cfg.atlas_scale = s;
+    }
+    if let Some(s) = cdn_scale {
+        cfg.cdn_scale = s;
+    }
+
     if wanted.iter().any(|w| w == "all") {
         wanted = ATLAS_ARTIFACTS
             .iter()
@@ -96,7 +160,7 @@ fn main() {
             Ok(msg) => println!("{msg}"),
             Err(e) => {
                 eprintln!("dump failed: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_RUN_FAILURE);
             }
         }
         return;
@@ -124,6 +188,7 @@ fn main() {
         CdnAnalysis::compute(&cfg)
     });
 
+    let mut run_failed = false;
     for artifact in &wanted {
         let text = match artifact.as_str() {
             "table1" => atlas_exps::table1(atlas.as_ref().expect("atlas computed")),
@@ -141,10 +206,16 @@ fn main() {
                 atlas.as_ref().expect("atlas computed"),
                 cdn.as_ref().expect("cdn computed"),
             ),
-            "check" => check::render(
-                atlas.as_ref().expect("atlas computed"),
-                cdn.as_ref().expect("cdn computed"),
-            ),
+            "check" => {
+                let (text, ok) = check::render_and_ok(
+                    atlas.as_ref().expect("atlas computed"),
+                    cdn.as_ref().expect("cdn computed"),
+                );
+                if !ok {
+                    run_failed = true;
+                }
+                text
+            }
             "evolution" => extended::evolution(&cfg),
             "pools" => extended::pool_boundaries(&cfg),
             "scanplan" => extended::scan_plans(&cfg),
@@ -167,8 +238,12 @@ fn main() {
                 .and_then(|()| std::fs::write(dir.join(format!("{artifact}.txt")), &text))
             {
                 eprintln!("failed to write {artifact}.txt: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_RUN_FAILURE);
             }
         }
+    }
+    if run_failed {
+        eprintln!("[dynamips] self-check failed");
+        std::process::exit(EXIT_RUN_FAILURE);
     }
 }

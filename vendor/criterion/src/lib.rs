@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API shape this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`] — backed by a simple wall-clock timer: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a short measurement window, and the mean ns/iter is printed.
+//! There is no statistical analysis, plotting, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+}
+
+struct MeasuredRun {
+    total: Duration,
+    iters: u64,
+}
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly until the measurement window
+    /// is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warmup call, which also sizes the batch.
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (MEASURE_WINDOW.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            iters += per_batch;
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.measured = Some(MeasuredRun {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply CLI-style filtering (substring match on the benchmark id).
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, None, id, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the sample count (no-op; provided for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let group = self.name.clone();
+        run_bench(self.criterion, Some(&group), id, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if !criterion.matches(&full) {
+        return;
+    }
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some(m) if m.iters > 0 => {
+            let ns = m.total.as_nanos() as f64 / m.iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:.1} Melem/s", n as f64 / ns * 1e3)
+                }
+                Some(Throughput::Bytes(n)) => format!("  {:.1} MiB/s", n as f64 / ns * 953.7),
+                None => String::new(),
+            };
+            println!("{full:<50} {ns:>12.0} ns/iter ({} iters){rate}", m.iters);
+        }
+        _ => println!("{full:<50}  (no measurement)"),
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(2 * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,766 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x this workspace uses — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`, range
+//! and tuple strategies, `&str`-as-regex string strategies (a small regex
+//! subset: char classes, escapes, `{n,m}`/`*`/`+`/`?` repetition),
+//! [`collection::vec`], [`prop_oneof!`], [`Just`], `prop_assert*!` and
+//! `prop_assume!` — on top of a seeded RNG.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via the
+//!   assertion message but does not minimize them;
+//! * cases are generated from a seed derived from the test function's name,
+//!   so runs are deterministic across processes (the real crate persists
+//!   regressions in `proptest-regressions/` instead; those files are
+//!   ignored here).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+                    proptest};
+    pub use crate::test_runner::ProptestConfig;
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::*;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole property fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-test RNG: FNV-1a over the test name, then case
+    /// index mixed in by the caller advancing the stream.
+    pub fn rng_for(test_name: &str) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Strategy combinators.
+pub mod strategy {
+    use super::*;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking; a strategy
+    /// is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f`, retrying a bounded number of
+        /// times (the real crate tracks a global rejection quota).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Box the strategy, erasing its type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe strategy alias used by [`prop_oneof!`].
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+    /// Object-safe mirror of [`Strategy`].
+    pub trait DynStrategy<V> {
+        /// Generate one value.
+        fn dyn_generate(&self, rng: &mut SmallRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut SmallRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            self.as_ref().dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?}: too many rejections", self.whence);
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Choose uniformly among `options` each case.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut SmallRng) -> V {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].dyn_generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, f32, f64);
+
+    /// A `&str` is a strategy generating `String`s matching it as a regex
+    /// (the subset [`crate::string_regex`] supports).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            crate::string_regex::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11)
+    }
+}
+
+/// Generation of strings matching a small regex subset, backing the
+/// `&str`-as-strategy impl. Supported: literal chars, `.`, escapes
+/// (`\n`, `\t`, `\r`, `\d`, `\w`, `\s`, and escaped metachars), character
+/// classes with ranges and negation (`[a-z]`, `[^0-9]`), and the
+/// repetition suffixes `{n}`, `{lo,hi}`, `{lo,}`, `*`, `+`, `?`
+/// (unbounded repetition is capped at 8 extra items). Alternation and
+/// groups are not supported and panic at test time.
+pub mod string_regex {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::iter::Peekable;
+    use std::str::Chars;
+
+    /// Generate one string matching `pattern`.
+    pub(crate) fn generate_matching(pattern: &str, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for (set, lo, hi) in compile(pattern) {
+            let n = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..n {
+                out.push(set[rng.gen_range(0..set.len())]);
+            }
+        }
+        out
+    }
+
+    /// One `(alphabet, min repeats, max repeats)` per regex atom.
+    fn compile(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => parse_class(pattern, &mut chars),
+                '\\' => escape_set(expect(pattern, &mut chars)),
+                '.' => universe().collect(),
+                '(' | ')' | '|' => {
+                    panic!("unsupported regex construct {c:?} in {pattern:?}")
+                }
+                lit => vec![lit],
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_count(pattern, &mut chars)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 9)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            atoms.push((set, lo, hi));
+        }
+        atoms
+    }
+
+    /// The alphabet `.` and negated classes draw from: printable ASCII
+    /// plus newline and tab.
+    fn universe() -> impl Iterator<Item = char> {
+        (' '..='~').chain(['\n', '\t'])
+    }
+
+    fn expect(pattern: &str, chars: &mut Peekable<Chars<'_>>) -> char {
+        chars
+            .next()
+            .unwrap_or_else(|| panic!("truncated regex {pattern:?}"))
+    }
+
+    fn escape_set(c: char) -> Vec<char> {
+        match c {
+            'n' => vec!['\n'],
+            't' => vec!['\t'],
+            'r' => vec!['\r'],
+            'd' => ('0'..='9').collect(),
+            'w' => ('a'..='z')
+                .chain('A'..='Z')
+                .chain('0'..='9')
+                .chain(['_'])
+                .collect(),
+            's' => vec![' ', '\t', '\n'],
+            other => vec![other],
+        }
+    }
+
+    fn parse_class(pattern: &str, chars: &mut Peekable<Chars<'_>>) -> Vec<char> {
+        let negated = chars.peek() == Some(&'^');
+        if negated {
+            chars.next();
+        }
+        let mut set: Vec<char> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match expect(pattern, chars) {
+                ']' => break,
+                '\\' => {
+                    let e = escape_set(expect(pattern, chars));
+                    prev = if e.len() == 1 { Some(e[0]) } else { None };
+                    set.extend(e);
+                }
+                '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                    let hi = match expect(pattern, chars) {
+                        '\\' => escape_set(expect(pattern, chars))[0],
+                        other => other,
+                    };
+                    let lo = prev.take().expect("range start");
+                    assert!(lo <= hi, "inverted class range in {pattern:?}");
+                    // `lo` itself is already in the set.
+                    for code in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            set.push(ch);
+                        }
+                    }
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if negated {
+            let exclude: std::collections::HashSet<char> = set.into_iter().collect();
+            universe().filter(|c| !exclude.contains(c)).collect()
+        } else {
+            set
+        }
+    }
+
+    fn parse_count(pattern: &str, chars: &mut Peekable<Chars<'_>>) -> (usize, usize) {
+        let mut lo = String::new();
+        let mut hi = String::new();
+        let mut in_hi = false;
+        loop {
+            match expect(pattern, chars) {
+                '}' => break,
+                ',' => in_hi = true,
+                d => {
+                    if in_hi {
+                        hi.push(d);
+                    } else {
+                        lo.push(d);
+                    }
+                }
+            }
+        }
+        let lo_n: usize = lo
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}"));
+        if !in_hi {
+            (lo_n, lo_n)
+        } else if hi.is_empty() {
+            (lo_n, lo_n + 8)
+        } else {
+            let hi_n = hi
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition count in {pattern:?}"));
+            (lo_n, hi_n)
+        }
+    }
+}
+
+/// `Vec` strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+    use rand::Rng;
+
+    /// Size specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end().saturating_add(1).max(r.start() + 1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut SmallRng) -> Self {
+                    <$t as rand::Standard>::from_rng(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool, f32,
+                                 f64);
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary_value(rng: &mut SmallRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary_value(rng))
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary_value(rng: &mut SmallRng) -> Self {
+                    ($($name::arbitrary_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_tuple! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// The strategy returned by [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::Any::default()
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn prop(x in 0u8..10, y: u32) { prop_assert!(x as u32 <= y + 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr) $(#[test] fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut rejected: u32 = 0;
+                let mut ran: u32 = 0;
+                while ran < config.cases {
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $crate::proptest!(@bind rng, $($params)*);
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.cases.saturating_mul(20).max(1000) {
+                                panic!(
+                                    "proptest {}: too many prop_assume! rejections ({rejected})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    // Parameter binder: `pat in strategy` or `ident: Type`, comma-separated.
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $id:ident : $ty:ty) => {
+        let $id: $ty = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+    };
+    (@bind $rng:ident, $id:ident : $ty:ty, $($rest:tt)*) => {
+        let $id: $ty = $crate::strategy::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_typed_args(x in 1u8..10, y: u32, pair in (0u8..4, 0u8..4)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            let _ = y;
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0u8..5, 0..20)) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..8]) {
+            prop_assert!(v == 1 || v == 2 || (5..8).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn regex_class_with_ranges_and_escapes(s in "[ -~\n\t]{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+
+        #[test]
+        fn regex_literals_counts_and_negation(s in "ab\\d{2}[^x]x?") {
+            prop_assert!(s.starts_with("ab"));
+            let digits: String = s.chars().skip(2).take(2).collect();
+            prop_assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+            prop_assert_ne!(s.chars().nth(4), Some('x'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rand` cannot be fetched. This crate re-implements exactly the
+//! subset of `rand` 0.8.5's API that this workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range`, `gen_bool`, `fill`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64, the same
+//!   construction `rand` 0.8 uses on 64-bit targets);
+//! * [`rngs::mock::StepRng`] for deterministic tests.
+//!
+//! The implemented paths are **bit-exact** with `rand` 0.8.5 on 64-bit
+//! targets: the generator core (xoshiro256++, high-32-bit `next_u32`,
+//! SplitMix64 `seed_from_u64`), integer `gen_range` (Lemire
+//! widening-multiply rejection with `rand`'s zone computation), half-open
+//! float `gen_range` (52-bit `[1, 2)` exponent trick with 1-ulp scale
+//! shrink on overflow), `gen_bool` (Bernoulli via `p * 2^64` integer
+//! comparison), `Standard` integer/float draws, and
+//! `fill_bytes_via_next`-style byte fills. Workspace analyses are seeded,
+//! so reproducing the exact streams keeps every downstream statistic
+//! identical to what the real crate would produce. Inclusive *float*
+//! ranges are best-effort (unused by this workspace).
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes. Mirrors `rand_core`'s
+    /// `fill_bytes_via_next`: whole 8-byte chunks from `next_u64`, then a
+    /// trailing 5–7 byte remainder from `next_u64` or a 1–4 byte remainder
+    /// from `next_u32`.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut left = dest;
+        while left.len() >= 8 {
+            let (l, r) = left.split_at_mut(8);
+            left = r;
+            l.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let n = left.len();
+        if n > 4 {
+            left.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        } else if n > 0 {
+            left.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types producible uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw a uniform value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                   u64 => next_u64, usize => next_u64,
+                   i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64);
+
+impl Standard for u128 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // As in `rand` 0.8: low word first, then high word.
+        let x = u128::from(rng.next_u64());
+        let y = u128::from(rng.next_u64());
+        (y << 64) | x
+    }
+}
+
+impl Standard for i128 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::from_rng(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // As in `rand` 0.8: the sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // As in `rand` 0.8: arrays sample element-wise (one u32 draw per
+        // byte), unlike `fill`.
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = u8::from_rng(rng);
+        }
+        out
+    }
+}
+
+/// 64x64 -> 128 widening multiply split into (high, low) words.
+fn wmul_u32(a: u32, b: u32) -> (u32, u32) {
+    let p = u64::from(a) * u64::from(b);
+    ((p >> 32) as u32, p as u32)
+}
+
+fn wmul_u64(a: u64, b: u64) -> (u64, u64) {
+    let p = u128::from(a) * u128::from(b);
+    ((p >> 64) as u64, p as u64)
+}
+
+/// 128x128 -> 256 widening multiply via 64-bit limbs.
+fn wmul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// Integer/float types samplable from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `hi > lo`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`; `hi >= lo`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// `rand` 0.8.5's `uniform_int_impl!` sample_single/_inclusive: Lemire
+/// widening-multiply rejection. `$u_large` is the draw width (u32 for
+/// types narrower than 32 bits), and small types (`u8`/`u16`) use the
+/// exact modulus zone while wider types use the shift approximation.
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty, $unsigned:ty, $u_large:ty, $wmul:path);* $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                Self::sample_inclusive(rng, lo, hi - 1)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                // Wrap-around to 0 means the range covers the whole type.
+                let range = hi.wrapping_sub(lo).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    return <$ty as Standard>::from_rng(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u32) <= (u16::MAX as u32) {
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as Standard>::from_rng(rng);
+                    let (hi_word, lo_word) = $wmul(v, range);
+                    if lo_word <= zone {
+                        return lo.wrapping_add(hi_word as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8, u8, u32, wmul_u32;
+    u16, u16, u32, wmul_u32;
+    u32, u32, u32, wmul_u32;
+    u64, u64, u64, wmul_u64;
+    usize, usize, u64, wmul_u64;
+    u128, u128, u128, wmul_u128;
+    i8, u8, u32, wmul_u32;
+    i16, u16, u32, wmul_u32;
+    i32, u32, u32, wmul_u32;
+    i64, u64, u64, wmul_u64;
+    i128, u128, u128, wmul_u128
+);
+
+/// `rand` 0.8.5's `UniformFloat::sample_single`: a value in `[1, 2)` from
+/// the top mantissa-width bits via the exponent trick, mapped by
+/// `value0_1 * scale + lo`, with the scale shrunk by 1 ulp and redrawn on
+/// the rare rounding overflow.
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty, $uty:ty, $next:ident, $discard:expr, $exp_one:expr);* $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let mut scale = hi - lo;
+                loop {
+                    let value1_2 = <$ty>::from_bits((rng.$next() >> $discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res < hi {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                // Best-effort (this path is unused by the workspace): scale
+                // so the largest mantissa draw lands exactly on `hi`.
+                let max_rand =
+                    <$ty>::from_bits((<$uty>::MAX >> $discard) | $exp_one) - 1.0;
+                let mut scale = (hi - lo) / max_rand;
+                loop {
+                    let value1_2 = <$ty>::from_bits((rng.$next() >> $discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res <= hi {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(
+    f64, u64, next_u64, 12u32, 1023u64 << 52;
+    f32, u32, next_u32, 9u32, 127u32 << 23
+);
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Buffer types fillable by [`Rng::fill`].
+pub trait Fill {
+    /// Fill `self` with random data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Fill `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`. Panics if `p` is outside `[0, 1]`,
+    /// like `rand`'s `Bernoulli::new(p).unwrap()`. As in `rand` 0.8,
+    /// `p == 1.0` returns `true` without consuming a draw while every
+    /// other probability (including 0) consumes one `u64`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p = {p} is outside [0.0, 1.0]"
+        );
+        if p == 1.0 {
+            return true;
+        }
+        let scale = 2.0 * (1u64 << 63) as f64; // 2^64
+        let p_int = (p * scale) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNGs, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 step, used for seed expansion.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++, `rand` 0.8's
+    /// `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro256 requires a non-zero state; SplitMix64 of any seed
+            // yields all-zero with negligible probability, but be exact.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // As in `rand` 0.8's internal xoshiro256++: the upper bits,
+            // because the lowest bits have some linear dependencies.
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Mock RNGs for deterministic tests.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// Returns `initial`, `initial + increment`, ... as its output
+        /// stream, mirroring `rand::rngs::mock::StepRng`.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// New counter starting at `initial`, stepping by `increment`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    v: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                // StepRng truncates (the counter stays visible in the low
+                // bits), unlike SmallRng.
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn small_rng_is_deterministic_per_seed() {
+        let a: u64 = SmallRng::seed_from_u64(1).gen();
+        let b: u64 = SmallRng::seed_from_u64(1).gen();
+        let c: u64 = SmallRng::seed_from_u64(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(3u64..=17);
+            assert!((3..=17).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+            let b = rng.gen_range(0u8..=255);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn gen_range_u128_and_degenerate_inclusive() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let x = rng.gen_range(0u128..1 << 100);
+        assert!(x < 1 << 100);
+        assert_eq!(rng.gen_range(4u8..=4), 4);
+    }
+
+    #[test]
+    fn gen_range_full_span_is_a_plain_draw() {
+        // Full-type ranges take the `range == 0` path.
+        let a = SmallRng::seed_from_u64(3).gen_range(u64::MIN..=u64::MAX);
+        let b: u64 = SmallRng::seed_from_u64(3).gen();
+        assert_eq!(a, b);
+        let c = SmallRng::seed_from_u64(3).gen_range(i8::MIN..=i8::MAX);
+        let d = SmallRng::seed_from_u64(3).next_u32() as i8;
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_via_rejection() {
+        // A range of 3 over u64 would show modulo bias ~2^64/3 if reduced
+        // naively; Lemire rejection keeps each bucket within noise.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 400, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "{rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_draw_consumption_matches_rand() {
+        // p == 1.0 consumes nothing; p == 0.0 still consumes one u64.
+        let mut a = SmallRng::seed_from_u64(5);
+        assert!(a.gen_bool(1.0));
+        let mut b = SmallRng::seed_from_u64(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+
+        let mut c = SmallRng::seed_from_u64(5);
+        assert!(!c.gen_bool(0.0));
+        let mut d = SmallRng::seed_from_u64(5);
+        d.next_u64();
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "{mean}");
+    }
+
+    #[test]
+    fn fill_matches_next_u64_le_bytes() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut buf = [0u8; 6];
+        rng.fill(&mut buf);
+        let mut rng2 = SmallRng::seed_from_u64(17);
+        let expect = rng2.next_u64().to_le_bytes();
+        assert_eq!(buf, expect[..6]);
+    }
+
+    #[test]
+    fn step_rng_counts() {
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u64(), 2);
+    }
+}
