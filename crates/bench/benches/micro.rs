@@ -116,6 +116,23 @@ fn analysis_kernels(c: &mut Criterion) {
     g.bench_function("cumulative_ttf_marks", |b| {
         b.iter(|| black_box(set.cumulative_ttf_marks()))
     });
+    // The prefix-sum + partition_point form; the old per-threshold
+    // rescan was O(T·N) over this same input.
+    let weighted: Vec<(f64, f64)> = (0..10_000)
+        .map(|_| {
+            let v = rng.gen_range(1.0..2000.0f64);
+            (v, v)
+        })
+        .collect();
+    let thresholds: Vec<f64> = (0..200).map(|t| t as f64 * 10.0).collect();
+    g.bench_function("weighted_cdf_10k_values_200_thresholds", |b| {
+        b.iter(|| {
+            black_box(dynamips_core::stats::weighted_cdf_at(
+                &weighted,
+                &thresholds,
+            ))
+        })
+    });
     g.finish();
 }
 

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dynamips_bench::{atlas_analysis, bench_config, cdn_analysis};
-use dynamips_experiments::{atlas_exps, cdn_exps, claims, AtlasAnalysis, CdnAnalysis};
+use dynamips_experiments::{atlas_exps, cdn_exps, claims, engine, AtlasAnalysis, CdnAnalysis};
 use std::hint::black_box;
 
 fn pipelines(c: &mut Criterion) {
@@ -20,6 +20,28 @@ fn pipelines(c: &mut Criterion) {
     });
     g.bench_function("cdn_pipeline", |b| {
         b.iter(|| black_box(CdnAnalysis::compute(&cfg)))
+    });
+    g.finish();
+}
+
+/// The engine end-to-end: world cache + concurrent analyses + render
+/// fan-out. `workers = 1` is the sequential baseline the byte-identity
+/// guarantee is stated against; the multi-worker variant shows the
+/// speedup on machines that have the cores.
+fn engine_runs(c: &mut Criterion) {
+    let cfg = bench_config();
+    let wanted: Vec<String> = ["table1", "fig8", "fig3", "claims", "tracking", "evolution"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("engine_6_artifacts_1_worker", |b| {
+        b.iter(|| black_box(engine::run(&cfg, &wanted, 1)))
+    });
+    let cores = engine::worker_count(None);
+    g.bench_function("engine_6_artifacts_all_workers", |b| {
+        b.iter(|| black_box(engine::run(&cfg, &wanted, cores)))
     });
     g.finish();
 }
@@ -58,6 +80,7 @@ fn claims_artifact(c: &mut Criterion) {
 criterion_group!(
     benches,
     pipelines,
+    engine_runs,
     atlas_artifacts,
     cdn_artifacts,
     claims_artifact

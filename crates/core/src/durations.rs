@@ -60,6 +60,13 @@ impl DurationSet {
         self.durations.extend(hours);
     }
 
+    /// Fold another set's durations into this one. Every consumer treats
+    /// the set as a multiset (sums, sorted CDFs, per-value counts), so
+    /// merging partial sets in any order reproduces the sequential result.
+    pub fn merge(&mut self, other: &DurationSet) {
+        self.durations.extend_from_slice(&other.durations);
+    }
+
     /// Number of durations.
     pub fn len(&self) -> usize {
         self.durations.len()
@@ -272,5 +279,23 @@ mod tests {
     fn total_hours_annotation() {
         let s = set(&[24, 48]);
         assert_eq!(s.total_hours(), 72);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let all = set(&[1, 24, 24, 700, 9000, 24]);
+        let mut ab = set(&[1, 24, 24]);
+        ab.merge(&set(&[700, 9000, 24]));
+        let mut ba = set(&[700, 9000, 24]);
+        ba.merge(&set(&[1, 24, 24]));
+        for s in [&ab, &ba] {
+            assert_eq!(s.len(), all.len());
+            assert_eq!(s.total_hours(), all.total_hours());
+            assert_eq!(
+                s.cumulative_ttf_marks(),
+                all.cumulative_ttf_marks(),
+                "merged TTF must match sequential"
+            );
+        }
     }
 }

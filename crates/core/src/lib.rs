@@ -56,6 +56,7 @@ pub mod dualstack;
 pub mod durations;
 pub mod evolution;
 pub mod hitlist;
+pub mod perf;
 pub mod poolinfer;
 pub mod pools;
 pub mod report;

@@ -1,0 +1,223 @@
+//! Machine-readable performance records (`BENCH_all.json`).
+//!
+//! The experiment engine emits one [`PerfRecord`] per `dynamips all` run so
+//! the repo accumulates a perf trajectory alongside the Criterion benches.
+//! The build is offline (no serde), so the record carries its own writer
+//! and a parser for exactly this schema; the parser exists so tests — and
+//! future bench tooling comparing runs — can round-trip the file without a
+//! JSON dependency.
+
+/// Schema tag written into every record, bumped on layout changes.
+pub const PERF_SCHEMA: &str = "dynamips-bench-v1";
+
+/// One named wall-time measurement, milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Phase or artifact name.
+    pub name: String,
+    /// Wall time, milliseconds.
+    pub ms: f64,
+}
+
+/// A whole-run performance record: the shared pipeline phases (world
+/// builds, collection+analysis) and the per-artifact render times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfRecord {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Atlas probe-count scale.
+    pub atlas_scale: f64,
+    /// CDN subscriber-count scale.
+    pub cdn_scale: f64,
+    /// Worker threads the engine used.
+    pub workers: usize,
+    /// Distinct worlds actually constructed (the cache's build count).
+    pub worlds_built: usize,
+    /// End-to-end wall time, milliseconds.
+    pub total_ms: f64,
+    /// Shared phases in execution order (world build, collect, analyze).
+    pub phases: Vec<PerfEntry>,
+    /// Per-artifact render wall times in request order.
+    pub artifacts: Vec<PerfEntry>,
+}
+
+fn push_entries(out: &mut String, key: &str, entries: &[PerfEntry]) {
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ms\": {:.3}}}{comma}\n",
+            escape(&e.name),
+            e.ms
+        ));
+    }
+    out.push_str("  ]");
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl PerfRecord {
+    /// Serialize to the `BENCH_all.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{PERF_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"atlas_scale\": {},\n", self.atlas_scale));
+        out.push_str(&format!("  \"cdn_scale\": {},\n", self.cdn_scale));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"worlds_built\": {},\n", self.worlds_built));
+        out.push_str(&format!("  \"total_ms\": {:.3},\n", self.total_ms));
+        push_entries(&mut out, "phases", &self.phases);
+        out.push_str(",\n");
+        push_entries(&mut out, "artifacts", &self.artifacts);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`PerfRecord::to_json`]. Returns an
+    /// error string naming the first field that failed.
+    pub fn parse(json: &str) -> Result<PerfRecord, String> {
+        let schema = scalar(json, "schema")?;
+        let schema = schema.trim_matches('"');
+        if schema != PERF_SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        Ok(PerfRecord {
+            seed: scalar(json, "seed")?.parse().map_err(|e| format!("seed: {e}"))?,
+            atlas_scale: scalar(json, "atlas_scale")?
+                .parse()
+                .map_err(|e| format!("atlas_scale: {e}"))?,
+            cdn_scale: scalar(json, "cdn_scale")?
+                .parse()
+                .map_err(|e| format!("cdn_scale: {e}"))?,
+            workers: scalar(json, "workers")?
+                .parse()
+                .map_err(|e| format!("workers: {e}"))?,
+            worlds_built: scalar(json, "worlds_built")?
+                .parse()
+                .map_err(|e| format!("worlds_built: {e}"))?,
+            total_ms: scalar(json, "total_ms")?
+                .parse()
+                .map_err(|e| format!("total_ms: {e}"))?,
+            phases: entries(json, "phases")?,
+            artifacts: entries(json, "artifacts")?,
+        })
+    }
+}
+
+/// Extract the raw token after `"key":` up to the next `,`, `\n` or `}`.
+fn scalar<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":");
+    let start = json.find(&tag).ok_or_else(|| format!("missing {key:?}"))? + tag.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c| c == ',' || c == '\n' || c == '}')
+        .unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+/// Extract the `[...]` array after `"key":` and parse its entry objects.
+fn entries(json: &str, key: &str) -> Result<Vec<PerfEntry>, String> {
+    let tag = format!("\"{key}\": [");
+    let start = json.find(&tag).ok_or_else(|| format!("missing {key:?}"))? + tag.len();
+    let body = &json[start..];
+    let end = body.find(']').ok_or_else(|| format!("unterminated {key:?}"))?;
+    let mut out = Vec::new();
+    for obj in body[..end].split('{').skip(1) {
+        let name = scalar(obj, "name")?.trim_end_matches('}').trim();
+        let name = name
+            .strip_prefix('"')
+            .and_then(|n| n.strip_suffix('"'))
+            .unwrap_or(name)
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\");
+        let ms = scalar(obj, "ms")?
+            .trim_end_matches('}')
+            .trim()
+            .parse()
+            .map_err(|e| format!("{key} ms: {e}"))?;
+        out.push(PerfEntry { name, ms });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PerfRecord {
+        PerfRecord {
+            seed: 2020,
+            atlas_scale: 0.2,
+            cdn_scale: 0.15,
+            workers: 4,
+            worlds_built: 2,
+            total_ms: 1234.5,
+            phases: vec![
+                PerfEntry {
+                    name: "atlas-world".into(),
+                    ms: 100.25,
+                },
+                PerfEntry {
+                    name: "atlas-analysis".into(),
+                    ms: 900.0,
+                },
+            ],
+            artifacts: vec![
+                PerfEntry {
+                    name: "table1".into(),
+                    ms: 1.5,
+                },
+                PerfEntry {
+                    name: "fig8".into(),
+                    ms: 0.75,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = record();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"dynamips-bench-v1\""));
+        let back = PerfRecord::parse(&json).unwrap();
+        assert_eq!(back.seed, r.seed);
+        assert_eq!(back.workers, 4);
+        assert_eq!(back.worlds_built, 2);
+        assert_eq!(back.phases, r.phases);
+        assert_eq!(back.artifacts, r.artifacts);
+        assert!((back.total_ms - r.total_ms).abs() < 1e-9);
+        assert!((back.atlas_scale - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_entry_lists_round_trip() {
+        let r = PerfRecord {
+            seed: 1,
+            workers: 1,
+            ..Default::default()
+        };
+        let back = PerfRecord::parse(&r.to_json()).unwrap();
+        assert!(back.phases.is_empty());
+        assert!(back.artifacts.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(PerfRecord::parse("{}").is_err());
+        let bad = record().to_json().replace("dynamips-bench-v1", "v999");
+        let err = PerfRecord::parse(&bad).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+    }
+
+    #[test]
+    fn names_with_quotes_survive() {
+        let mut r = record();
+        r.artifacts[0].name = "odd \"name\"".into();
+        let back = PerfRecord::parse(&r.to_json()).unwrap();
+        assert_eq!(back.artifacts[0].name, "odd \"name\"");
+    }
+}

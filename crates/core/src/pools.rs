@@ -74,6 +74,16 @@ impl PoolAccumulator {
         self.bgp.push(u.bgp);
     }
 
+    /// Fold another accumulator's per-probe counts into this one. Every
+    /// consumer sorts or counts the per-probe vectors, so merge order does
+    /// not affect any derived statistic.
+    pub fn merge(&mut self, other: &PoolAccumulator) {
+        for (mine, theirs) in self.per_length.iter_mut().zip(other.per_length.iter()) {
+            mine.extend_from_slice(theirs);
+        }
+        self.bgp.extend_from_slice(&other.bgp);
+    }
+
     /// Number of probes accounted.
     pub fn probes(&self) -> usize {
         self.bgp.len()
@@ -91,12 +101,21 @@ impl PoolAccumulator {
 
     /// Median unique-prefix count at tracked length index `i`.
     pub fn median(&self, i: usize) -> f64 {
+        self.quantile(i, 0.5)
+    }
+
+    /// Empirical quantile of the per-probe unique-prefix counts at tracked
+    /// length index `i`. Shape predicates over bimodal populations (e.g.
+    /// DTAG's stabilized lines vs. daily renumberers) should prefer a
+    /// quantile inside the mode they assert over the median, which teeters
+    /// between modes when the mix is near 50/50.
+    pub fn quantile(&self, i: usize, q: f64) -> f64 {
         let mut v: Vec<f64> = self.per_length[i].iter().map(|&c| c as f64).collect();
         if v.is_empty() {
             return 0.0;
         }
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
-        crate::stats::quantile_sorted(&v, 0.5)
+        crate::stats::quantile_sorted(&v, q)
     }
 }
 
@@ -181,6 +200,42 @@ mod tests {
         assert_eq!(acc.cdf_at(3, 3), 1.0);
         // /64 index 0: counts 1 and 3 -> median 2.
         assert_eq!(acc.median(0), 2.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_and_quantiles_agree() {
+        let probes = [
+            history(vec!["2003:40:a0:aa00::/64"]),
+            history(vec![
+                "2003:40:a0:aa00::/64",
+                "2003:41:0:1::/64",
+                "2003:42:0:1::/64",
+            ]),
+            history(vec!["2003:40:a0:aa00::/64", "2003:40:a0:aa01::/64"]),
+        ];
+        let r = routing();
+        let mut seq = PoolAccumulator::new();
+        for p in &probes {
+            seq.add_probe(p, &r);
+        }
+        let mut a = PoolAccumulator::new();
+        a.add_probe(&probes[0], &r);
+        let mut b = PoolAccumulator::new();
+        b.add_probe(&probes[1], &r);
+        b.add_probe(&probes[2], &r);
+        // Merge in the opposite order to the sequential accumulation.
+        let mut merged = PoolAccumulator::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged.probes(), seq.probes());
+        for i in 0..7 {
+            assert_eq!(merged.median(i), seq.median(i), "length index {i}");
+            assert_eq!(merged.cdf_at(i, 2), seq.cdf_at(i, 2));
+            assert_eq!(merged.quantile(i, 0.75), seq.quantile(i, 0.75));
+        }
+        // /64 counts are 1, 3, 2 -> median 2, p75 2.5.
+        assert_eq!(merged.quantile(0, 0.5), 2.0);
+        assert_eq!(merged.quantile(0, 0.75), 2.5);
     }
 
     #[test]

@@ -94,6 +94,21 @@ pub struct SanitizeReport {
     pub probes_out: usize,
 }
 
+impl SanitizeReport {
+    /// Fold another report's per-filter counters into this one, so partial
+    /// reports from sharded sanitization merge to the sequential totals.
+    pub fn merge(&mut self, other: &SanitizeReport) {
+        self.probes_in += other.probes_in;
+        self.test_address_records += other.test_address_records;
+        self.bad_tag += other.bad_tag;
+        self.atypical_nat += other.atypical_nat;
+        self.multihomed += other.multihomed;
+        self.split_probes += other.split_probes;
+        self.too_short += other.too_short;
+        self.probes_out += other.probes_out;
+    }
+}
+
 /// Outcome of sanitizing one probe.
 #[derive(Debug, Clone)]
 pub enum SanitizeOutcome {
@@ -460,5 +475,34 @@ mod tests {
             out,
             SanitizeOutcome::Rejected(RejectReason::NoData)
         ));
+    }
+
+    #[test]
+    fn report_merge_sums_every_counter() {
+        let a = SanitizeReport {
+            probes_in: 10,
+            test_address_records: 1,
+            bad_tag: 2,
+            atypical_nat: 3,
+            multihomed: 4,
+            split_probes: 5,
+            too_short: 6,
+            probes_out: 7,
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(
+            b,
+            SanitizeReport {
+                probes_in: 20,
+                test_address_records: 2,
+                bad_tag: 4,
+                atypical_nat: 6,
+                multihomed: 8,
+                split_probes: 10,
+                too_short: 12,
+                probes_out: 14,
+            }
+        );
     }
 }

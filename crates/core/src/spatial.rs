@@ -53,6 +53,16 @@ impl CplHistogram {
         }
     }
 
+    /// Merge histograms (both bars are plain per-CPL counters).
+    pub fn merge(&mut self, other: &CplHistogram) {
+        for (a, b) in self.changes.iter_mut().zip(other.changes.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.probes.iter_mut().zip(other.probes.iter()) {
+            *a += b;
+        }
+    }
+
     /// Total changes accounted.
     pub fn total_changes(&self) -> u64 {
         self.changes.iter().sum()
@@ -217,6 +227,29 @@ mod tests {
         h.add_probe(&history(vec![], vec!["2003::/64"]));
         assert_eq!(h.total_changes(), 0);
         assert_eq!(h.mode(), None);
+    }
+
+    #[test]
+    fn cpl_merge_matches_sequential_accumulation() {
+        let probes = [
+            history(vec![], vec!["2003:40:a0:aa00::/64", "2003:40:b1:2200::/64"]),
+            history(vec![], vec!["2003:40:a0:aa00::/64", "2003:40:a0:aaf0::/64"]),
+            history(vec![], vec!["2003::/64"]),
+        ];
+        let mut seq = CplHistogram::new();
+        for p in &probes {
+            seq.add_probe(p);
+        }
+        let mut left = CplHistogram::new();
+        left.add_probe(&probes[0]);
+        let mut right = CplHistogram::new();
+        right.add_probe(&probes[1]);
+        right.add_probe(&probes[2]);
+        let mut merged = CplHistogram::new();
+        merged.merge(&right);
+        merged.merge(&left);
+        assert_eq!(merged.changes, seq.changes);
+        assert_eq!(merged.probes, seq.probes);
     }
 
     fn routing() -> RoutingTable {

@@ -89,6 +89,12 @@ pub fn cdf_at(values: &[f64], thresholds: &[f64]) -> Vec<f64> {
 /// A weighted empirical CDF: `P(X <= t)` where each sample carries a weight.
 /// This is the paper's *cumulative total time fraction* when weights are the
 /// durations themselves.
+///
+/// Sorts once and precomputes prefix sums of the weights, then answers each
+/// threshold with a binary search (`partition_point`, as [`cdf_at`] does) —
+/// O((N + T) log N) rather than the O(T·N) of rescanning the sorted slice
+/// per threshold. Values are ordered by IEEE total order, so NaN inputs
+/// degrade instead of panicking.
 pub fn weighted_cdf_at(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
     let total: f64 = values.iter().map(|(_, w)| w).sum();
     if total <= 0.0 {
@@ -96,15 +102,23 @@ pub fn weighted_cdf_at(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // prefix[k] = sum of the first k weights in value order, accumulated
+    // left to right exactly as the per-threshold rescan did, so results are
+    // bit-identical to the O(T·N) form.
+    let mut prefix = Vec::with_capacity(sorted.len() + 1);
+    // -0.0 is `f64::sum`'s identity; starting there keeps the empty-prefix
+    // quotient bit-identical to the rescan's `sum() / total`.
+    let mut acc = -0.0f64;
+    prefix.push(acc);
+    for (_, w) in &sorted {
+        acc += w;
+        prefix.push(acc);
+    }
     thresholds
         .iter()
         .map(|t| {
-            let mass: f64 = sorted
-                .iter()
-                .take_while(|(v, _)| v <= t)
-                .map(|(_, w)| w)
-                .sum();
-            mass / total
+            let cnt = sorted.partition_point(|(v, _)| v <= t);
+            prefix[cnt] / total
         })
         .collect()
 }
@@ -220,6 +234,63 @@ mod tests {
     fn weighted_cdf_empty_or_zero_weight() {
         assert_eq!(weighted_cdf_at(&[], &[1.0]), vec![0.0]);
         assert_eq!(weighted_cdf_at(&[(1.0, 0.0)], &[1.0]), vec![0.0]);
+    }
+
+    /// The O(T·N) reference the prefix-sum form replaced.
+    fn weighted_cdf_at_rescan(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
+        let total: f64 = values.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return vec![0.0; thresholds.len()];
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        thresholds
+            .iter()
+            .map(|t| {
+                let mass: f64 = sorted
+                    .iter()
+                    .take_while(|(v, _)| v <= t)
+                    .map(|(_, w)| w)
+                    .sum();
+                mass / total
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weighted_cdf_prefix_sums_match_rescan_reference() {
+        // Pseudo-random values with heavy ties (the DurationSet case:
+        // weight == value, many repeated durations) — the prefix-sum form
+        // must be bit-identical to the per-threshold rescan.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let values: Vec<(f64, f64)> = (0..500)
+            .map(|_| {
+                let v = (next() % 48) as f64; // heavy ties, includes 0
+                (v, v)
+            })
+            .collect();
+        let thresholds: Vec<f64> = (0..60).map(|t| t as f64 - 5.0).collect();
+        let fast = weighted_cdf_at(&values, &thresholds);
+        let slow = weighted_cdf_at_rescan(&values, &thresholds);
+        assert_eq!(fast.len(), slow.len());
+        for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(f.to_bits(), s.to_bits(), "threshold {i}: {f} vs {s}");
+        }
+        // Mixed weights (not equal to values) and non-integer thresholds.
+        let values: Vec<(f64, f64)> = (0..200)
+            .map(|i| ((next() % 10) as f64, 0.5 + (i % 7) as f64))
+            .collect();
+        let thresholds = [-1.0, 0.0, 2.5, 9.0, 100.0];
+        assert_eq!(
+            weighted_cdf_at(&values, &thresholds),
+            weighted_cdf_at_rescan(&values, &thresholds)
+        );
     }
 
     #[test]

@@ -163,6 +163,13 @@ impl InferredLenDistribution {
         }
     }
 
+    /// Merge distributions (plain per-length probe counters).
+    pub fn merge(&mut self, other: &InferredLenDistribution) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
     /// Total probes accounted.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -337,6 +344,21 @@ mod tests {
                 .flat_map(|h| h.v6.iter().map(|s| s.value)),
         );
         assert_eq!(joint, Some(64));
+    }
+
+    #[test]
+    fn distribution_merge_sums_counts() {
+        let mut a = InferredLenDistribution::new();
+        a.counts[56] = 3;
+        a.counts[64] = 1;
+        let mut b = InferredLenDistribution::new();
+        b.counts[56] = 2;
+        b.counts[48] = 4;
+        a.merge(&b);
+        assert_eq!(a.counts[56], 5);
+        assert_eq!(a.counts[48], 4);
+        assert_eq!(a.total(), 10);
+        assert_eq!(a.mode(), Some(56));
     }
 
     #[test]

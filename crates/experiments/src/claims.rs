@@ -150,10 +150,12 @@ pub fn compute_claims(a: &AtlasAnalysis, c: &CdnAnalysis) -> Vec<Claim> {
         id: "as-mismatch-filter",
         paper: "filtering kept 31.6B of 32.7B associations (96.6%)".into(),
         measured: format!(
-            "kept {} of {} raw associations ({:.1}%)",
+            "kept {} of {} raw associations ({:.1}%); discarded {} as-mismatch + {} unrouted",
             c.kept_count,
             c.raw_count,
-            100.0 * c.kept_count as f64 / c.raw_count.max(1) as f64
+            100.0 * c.kept_count as f64 / c.raw_count.max(1) as f64,
+            c.discarded_as_mismatch,
+            c.discarded_unrouted
         ),
     });
 

@@ -15,8 +15,10 @@ use dynamips_core::subscriber::{InferredLenDistribution, NibbleCounter};
 use dynamips_netsim::profiles::{atlas_world, cdn_world};
 use dynamips_netsim::time::Window;
 use dynamips_netsim::World;
-use dynamips_routing::{Asn, Rir};
+use dynamips_routing::{Asn, Rir, RoutingTable};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::mpsc::sync_channel;
+use std::thread;
 
 /// Harness configuration: seed and dataset scales.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +88,112 @@ pub struct AsStats {
     pub inferred: InferredLenDistribution,
 }
 
+impl AsStats {
+    /// Fold another shard's accumulators for the same AS into this one.
+    /// Every field is a counter or an order-insensitive accumulator, so
+    /// merging shard partials in any order reproduces the sequential
+    /// accumulation exactly.
+    pub fn merge(&mut self, other: &AsStats) {
+        if self.name.is_empty() {
+            self.name = other.name.clone();
+        }
+        if self.country.is_empty() {
+            self.country = other.country.clone();
+        }
+        self.probes += other.probes;
+        self.ds_probes += other.ds_probes;
+        self.v4_changes_all += other.v4_changes_all;
+        self.v4_changes_ds += other.v4_changes_ds;
+        self.v6_changes += other.v6_changes;
+        self.v4_durations_nds.merge(&other.v4_durations_nds);
+        self.v4_durations_ds.merge(&other.v4_durations_ds);
+        self.v6_durations.merge(&other.v6_durations);
+        self.cooccurrence.merge(&other.cooccurrence);
+        self.cpl.merge(&other.cpl);
+        self.crossing.merge(&other.crossing);
+        self.pools.merge(&other.pools);
+        self.inferred.merge(&other.inferred);
+    }
+}
+
+/// One worker's partial accumulation state: everything `compute_with`
+/// derives from the probe stream, so shards can be merged afterwards.
+#[derive(Default)]
+struct ShardAccumulator {
+    per_as: BTreeMap<Asn, AsStats>,
+    report: SanitizeReport,
+    global_inferred: InferredLenDistribution,
+    degradation: DegradationReport,
+}
+
+impl ShardAccumulator {
+    /// Sanitize one probe series and accumulate its clean histories.
+    fn accept(&mut self, series: ProbeSeries, routing: &RoutingTable, cfg: &SanitizeConfig) {
+        let outcome = sanitize_probe(&series, routing, cfg, &mut self.report);
+        let histories = match outcome {
+            SanitizeOutcome::Clean(histories) => histories,
+            SanitizeOutcome::Rejected(reason) => {
+                self.degradation.record("sanitize", reason.class());
+                return;
+            }
+        };
+        for h in &histories {
+            let stats = self.per_as.entry(h.asn).or_default();
+            stats.probes += 1;
+            let ds = h.is_dual_stack(DS_COVERAGE);
+            if ds {
+                stats.ds_probes += 1;
+            }
+
+            // Change counts (Table 1).
+            let v4_changes = h.v4.len().saturating_sub(1) as u64;
+            let v6_changes = h.v6.len().saturating_sub(1) as u64;
+            stats.v4_changes_all += v4_changes;
+            if ds {
+                stats.v4_changes_ds += v4_changes;
+                stats.v6_changes += v6_changes;
+            }
+
+            // Durations (Figure 1).
+            for d in labeled_v4_durations(h, DS_COVERAGE) {
+                if d.dual_stack {
+                    stats.v4_durations_ds.push(d.hours);
+                } else {
+                    stats.v4_durations_nds.push(d.hours);
+                }
+            }
+            stats.v6_durations.extend(sandwiched_durations(&h.v6));
+
+            // Interplay (Section 3.2).
+            if ds {
+                stats.cooccurrence.merge(&co_occurrence(h));
+            }
+
+            // Spatial (Figure 5, Table 2).
+            stats.cpl.add_probe(h);
+            stats.crossing.add_probe(h, routing);
+
+            // Pools and subscriber boundaries (Figures 6, 8, 9) —
+            // probes with at least one v6 assignment change.
+            if v6_changes >= 1 {
+                stats.pools.add_probe(h, routing);
+                stats.inferred.add_probe(h);
+                self.global_inferred.add_probe(h);
+            }
+        }
+    }
+
+    /// Fold another shard into this one (order-insensitive throughout).
+    fn merge(&mut self, other: ShardAccumulator) {
+        for (asn, stats) in other.per_as {
+            self.per_as.entry(asn).or_default().merge(&stats);
+        }
+        self.report.merge(&other.report);
+        self.global_inferred.merge(&other.global_inferred);
+        self.degradation.merge(&other.degradation);
+    }
+}
+
 /// The full Atlas-side analysis.
 pub struct AtlasAnalysis {
     /// Per-AS accumulators.
@@ -105,14 +213,28 @@ impl AtlasAnalysis {
     /// Build the Atlas world, collect every probe, sanitize, accumulate.
     pub fn compute(cfg: &ExperimentConfig) -> AtlasAnalysis {
         let world = atlas_world(cfg.seed, cfg.atlas_scale);
-        let window = Window::atlas_paper();
-        let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
         let mut degradation = DegradationReport::new();
-        Self::compute_with(
-            &world,
+        Self::compute_for_world(&world, 1, &mut degradation)
+    }
+
+    /// Collect, sanitize, and accumulate against a pre-built (possibly
+    /// cache-shared) Atlas world, sharding the sanitize+accumulate work
+    /// across `workers` threads. Probe *generation* stays sequential — the
+    /// collector threads one RNG and donor state through the probes — so
+    /// parallelism cannot perturb the synthesized series.
+    pub fn compute_for_world(
+        world: &World,
+        workers: usize,
+        degradation: &mut DegradationReport,
+    ) -> AtlasAnalysis {
+        let window = Window::atlas_paper();
+        let collector = AtlasCollector::new(world, window, AtlasConfig::default());
+        Self::compute_with_workers(
+            world,
             window,
             |sink| collector.for_each_probe(sink),
-            &mut degradation,
+            degradation,
+            workers,
         )
     }
 
@@ -144,86 +266,89 @@ impl AtlasAnalysis {
         for_each: impl FnOnce(&mut dyn FnMut(ProbeSeries)),
         degradation: &mut DegradationReport,
     ) -> AtlasAnalysis {
-        let sanitize_cfg = SanitizeConfig::default();
+        Self::compute_with_workers(world, window, for_each, degradation, 1)
+    }
 
-        let mut per_as: BTreeMap<Asn, AsStats> = BTreeMap::new();
+    /// [`AtlasAnalysis::compute_with`] with the sanitize+accumulate path
+    /// sharded across `workers` threads. `for_each` still runs on the
+    /// calling thread and its sink sees probes in order; each probe is
+    /// dealt round-robin to a worker, and worker partials are merged in
+    /// worker order. Every accumulator merge is order-insensitive, so the
+    /// result is identical to `workers == 1` for any worker count.
+    pub fn compute_with_workers(
+        world: &World,
+        window: Window,
+        for_each: impl FnOnce(&mut dyn FnMut(ProbeSeries)),
+        degradation: &mut DegradationReport,
+        workers: usize,
+    ) -> AtlasAnalysis {
+        let sanitize_cfg = SanitizeConfig::default();
+        let routing = world.routing();
+
+        let mut acc = if workers <= 1 {
+            let mut acc = ShardAccumulator::default();
+            let mut sink = |series: ProbeSeries| acc.accept(series, routing, &sanitize_cfg);
+            for_each(&mut sink);
+            acc
+        } else {
+            let shards = thread::scope(|scope| {
+                let mut senders = Vec::with_capacity(workers);
+                let mut handles = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    // Bounded queue: backpressure keeps the sequential
+                    // generator from outrunning slow shards unboundedly.
+                    let (tx, rx) = sync_channel::<ProbeSeries>(128);
+                    let cfg = &sanitize_cfg;
+                    handles.push(scope.spawn(move || {
+                        let mut acc = ShardAccumulator::default();
+                        for series in rx {
+                            acc.accept(series, routing, cfg);
+                        }
+                        acc
+                    }));
+                    senders.push(tx);
+                }
+                let mut i = 0usize;
+                let mut sink = |series: ProbeSeries| {
+                    senders[i % workers].send(series).expect("shard worker alive");
+                    i += 1;
+                };
+                for_each(&mut sink);
+                drop(sink);
+                drop(senders); // close the queues so workers drain and exit
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut merged = ShardAccumulator::default();
+            for shard in shards {
+                merged.merge(shard);
+            }
+            merged
+        };
+
+        // Prefill AS names/countries so ASes with zero clean probes still
+        // render, matching the sequential prefill-then-accumulate order.
         for isp in world.isps() {
-            let entry = per_as.entry(isp.asn).or_default();
+            let entry = acc.per_as.entry(isp.asn).or_default();
             entry.name = isp.name.clone();
             entry.country = isp.country.clone();
         }
-        let mut report = SanitizeReport::default();
-        let mut global_inferred = InferredLenDistribution::new();
-        let routing = world.routing();
-
-        let mut sink = |series: ProbeSeries| {
-            let outcome = sanitize_probe(&series, routing, &sanitize_cfg, &mut report);
-            let histories = match outcome {
-                SanitizeOutcome::Clean(histories) => histories,
-                SanitizeOutcome::Rejected(reason) => {
-                    degradation.record("sanitize", reason.class());
-                    return;
-                }
-            };
-            for h in &histories {
-                let stats = per_as.entry(h.asn).or_default();
-                stats.probes += 1;
-                let ds = h.is_dual_stack(DS_COVERAGE);
-                if ds {
-                    stats.ds_probes += 1;
-                }
-
-                // Change counts (Table 1).
-                let v4_changes = h.v4.len().saturating_sub(1) as u64;
-                let v6_changes = h.v6.len().saturating_sub(1) as u64;
-                stats.v4_changes_all += v4_changes;
-                if ds {
-                    stats.v4_changes_ds += v4_changes;
-                    stats.v6_changes += v6_changes;
-                }
-
-                // Durations (Figure 1).
-                for d in labeled_v4_durations(h, DS_COVERAGE) {
-                    if d.dual_stack {
-                        stats.v4_durations_ds.push(d.hours);
-                    } else {
-                        stats.v4_durations_nds.push(d.hours);
-                    }
-                }
-                stats.v6_durations.extend(sandwiched_durations(&h.v6));
-
-                // Interplay (Section 3.2).
-                if ds {
-                    stats.cooccurrence.merge(&co_occurrence(h));
-                }
-
-                // Spatial (Figure 5, Table 2).
-                stats.cpl.add_probe(h);
-                stats.crossing.add_probe(h, routing);
-
-                // Pools and subscriber boundaries (Figures 6, 8, 9) —
-                // probes with at least one v6 assignment change.
-                if v6_changes >= 1 {
-                    stats.pools.add_probe(h, routing);
-                    stats.inferred.add_probe(h);
-                    global_inferred.add_probe(h);
-                }
-            }
-        };
-        for_each(&mut sink);
 
         // Stripped test-address records are repairs, not probe rejections,
         // so they are only visible through the sanitize report.
-        degradation.record_many(
+        acc.degradation.record_many(
             "sanitize",
             "test-address-record",
-            report.test_address_records as u64,
+            acc.report.test_address_records as u64,
         );
+        degradation.merge(&acc.degradation);
 
         AtlasAnalysis {
-            per_as,
-            sanitize: report,
-            global_inferred,
+            per_as: acc.per_as,
+            sanitize: acc.report,
+            global_inferred: acc.global_inferred,
             window,
         }
     }
@@ -257,12 +382,17 @@ impl AtlasAnalysis {
 
 /// The full CDN-side analysis.
 pub struct CdnAnalysis {
-    /// Pre-processing accounting: raw, kept, AS-mismatch discards.
+    /// Pre-processing accounting: raw association tuples observed.
     pub raw_count: u64,
     /// Retained tuples.
     pub kept_count: u64,
-    /// AS-mismatch discards.
-    pub discarded: u64,
+    /// Tuples discarded because the /64's routed origin AS disagreed with
+    /// the tuple's AS.
+    pub discarded_as_mismatch: u64,
+    /// Tuples discarded because the /64 was not routed at all. Folding
+    /// this class into the mismatch count (as an earlier revision did)
+    /// breaks `raw = kept + discards` accounting.
+    pub discarded_unrouted: u64,
     /// Unique /64 count.
     pub unique_p64: usize,
     /// Fraction of unique /64s from cellular networks.
@@ -293,10 +423,16 @@ impl CdnAnalysis {
     /// all CDN-side analyses.
     pub fn compute(cfg: &ExperimentConfig) -> CdnAnalysis {
         let world = cdn_world(cfg.seed, cfg.cdn_scale);
-        let window = Window::cdn_paper();
-        let dataset = CdnCollector::new(&world, window, CdnConfig::default()).collect();
         let mut degradation = DegradationReport::new();
-        Self::compute_from_dataset(&world, &dataset, &mut degradation)
+        Self::compute_for_world(&world, &mut degradation)
+    }
+
+    /// Collect and analyze against a pre-built (possibly cache-shared)
+    /// CDN world.
+    pub fn compute_for_world(world: &World, degradation: &mut DegradationReport) -> CdnAnalysis {
+        let window = Window::cdn_paper();
+        let dataset = CdnCollector::new(world, window, CdnConfig::default()).collect();
+        Self::compute_from_dataset(world, &dataset, degradation)
     }
 
     /// Run every CDN-side analysis over a pre-built association dataset
@@ -342,7 +478,8 @@ impl CdnAnalysis {
         CdnAnalysis {
             raw_count: dataset.raw_count,
             kept_count: dataset.len() as u64,
-            discarded: dataset.discarded_as_mismatch,
+            discarded_as_mismatch: dataset.discarded_as_mismatch,
+            discarded_unrouted: dataset.discarded_unrouted,
             unique_p64: dataset.unique_p64_count(),
             mobile_p64_fraction: dataset.mobile_p64_fraction(),
             runs,
@@ -366,5 +503,96 @@ impl CdnAnalysis {
     /// RIR resolver closure for the Figure-3 grouping.
     pub fn rir_of(&self, asn: Asn) -> Option<Rir> {
         self.as_meta.get(&asn).map(|(_, r)| *r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sharded accumulate path must be invariant in the worker count:
+    /// same per-AS statistics, same sanitizer accounting, same degradation
+    /// ledger as the sequential path.
+    #[test]
+    fn sharded_accumulation_matches_sequential() {
+        let world = atlas_world(5, 0.02);
+        let mut d1 = DegradationReport::new();
+        let mut d3 = DegradationReport::new();
+        let a1 = AtlasAnalysis::compute_for_world(&world, 1, &mut d1);
+        let a3 = AtlasAnalysis::compute_for_world(&world, 3, &mut d3);
+
+        assert_eq!(d1.render(), d3.render());
+        assert_eq!(a1.sanitize, a3.sanitize);
+        assert_eq!(a1.global_inferred.counts, a3.global_inferred.counts);
+        assert_eq!(a1.per_as.len(), a3.per_as.len());
+        for ((asn1, s1), (asn3, s3)) in a1.per_as.iter().zip(a3.per_as.iter()) {
+            assert_eq!(asn1, asn3);
+            assert_eq!(s1.name, s3.name);
+            assert_eq!(
+                (s1.probes, s1.ds_probes, s1.v4_changes_all, s1.v4_changes_ds, s1.v6_changes),
+                (s3.probes, s3.ds_probes, s3.v4_changes_all, s3.v4_changes_ds, s3.v6_changes),
+                "counters for {}",
+                s1.name
+            );
+            assert_eq!(s1.crossing, s3.crossing, "{}", s1.name);
+            assert_eq!(s1.cpl.changes, s3.cpl.changes, "{}", s1.name);
+            assert_eq!(s1.cpl.probes, s3.cpl.probes, "{}", s1.name);
+            assert_eq!(s1.inferred.counts, s3.inferred.counts, "{}", s1.name);
+            assert_eq!(s1.pools.probes(), s3.pools.probes(), "{}", s1.name);
+            // Duration sets shard into different internal orders; every
+            // consumer sorts, so compare the sorted marks bit-for-bit.
+            for (d1, d3) in [
+                (&s1.v4_durations_nds, &s3.v4_durations_nds),
+                (&s1.v4_durations_ds, &s3.v4_durations_ds),
+                (&s1.v6_durations, &s3.v6_durations),
+            ] {
+                assert_eq!(
+                    d1.cumulative_ttf_marks(),
+                    d3.cumulative_ttf_marks(),
+                    "{}",
+                    s1.name
+                );
+            }
+        }
+    }
+
+    /// CDN pre-processing accounting: both discard classes are reported
+    /// and together with the kept tuples they exactly cover the raw count.
+    /// A clean simulated world never yields unrouted tuples (every
+    /// assigned address comes from a routed pool), so the unrouted class
+    /// is exercised through `compute_from_dataset`, its real entry point:
+    /// lossy-loaded dumps where corruption produced off-table addresses.
+    #[test]
+    fn cdn_discard_classes_cover_raw_count() {
+        let cfg = ExperimentConfig {
+            seed: 5,
+            cdn_scale: 0.02,
+            atlas_scale: 0.02,
+        };
+        let c = CdnAnalysis::compute(&cfg);
+        assert!(c.raw_count > 0);
+        assert!(c.discarded_as_mismatch > 0, "mismatch filter exercised");
+        assert_eq!(
+            c.raw_count,
+            c.kept_count + c.discarded_as_mismatch + c.discarded_unrouted
+        );
+
+        // Re-analyze the same world from a dataset carrying unrouted
+        // discards; the identity must keep holding with both classes
+        // nonzero, not fold unrouted into the mismatch column.
+        let world = cdn_world(cfg.seed, cfg.cdn_scale);
+        let mut dataset =
+            CdnCollector::new(&world, Window::cdn_paper(), CdnConfig::default()).collect();
+        dataset.raw_count += 17;
+        dataset.discarded_unrouted += 17;
+        let mut degradation = DegradationReport::new();
+        let c2 = CdnAnalysis::compute_from_dataset(&world, &dataset, &mut degradation);
+        assert_eq!(c2.discarded_unrouted, 17);
+        assert!(c2.discarded_as_mismatch > 0);
+        assert_eq!(
+            c2.raw_count,
+            c2.kept_count + c2.discarded_as_mismatch + c2.discarded_unrouted
+        );
+        assert!(degradation.render().contains("unrouted"));
     }
 }

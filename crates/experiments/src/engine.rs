@@ -1,0 +1,521 @@
+//! Cached, parallel experiment engine.
+//!
+//! `dynamips all` renders 22 artifacts from two simulated worlds. The
+//! naive pipeline rebuilt the Atlas world once per extended artifact
+//! (9×) and rendered everything sequentially. This module fixes both:
+//!
+//! * [`WorldCache`] keys worlds by `(era, seed, scale)` and constructs
+//!   each distinct world exactly once, handing out `Arc<World>` clones to
+//!   every consumer (analyses, history collection, extended renderers).
+//! * [`run`] computes the Atlas analysis, the CDN analysis, and the
+//!   clean-history collection concurrently on scoped threads, then fans
+//!   the independent artifact renderers across a worker pool. Results
+//!   are returned in request order and every renderer is a pure function
+//!   of the shared analysis products, so the output is byte-identical to
+//!   a `workers == 1` run.
+//!
+//! The engine also times every phase and artifact, returning a
+//! [`PerfRecord`] the binary renders as the `--timings` table and writes
+//! as `BENCH_all.json`.
+
+use crate::context::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};
+use crate::extended::{self, CleanHistories};
+use crate::{atlas_exps, cdn_exps, check, claims};
+use dynamips_core::degrade::DegradationReport;
+use dynamips_core::perf::{PerfEntry, PerfRecord};
+use dynamips_netsim::profiles::{atlas_world, cdn_world, Era};
+use dynamips_netsim::time::Window;
+use dynamips_netsim::World;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::Instant;
+
+/// The paper's Atlas-side artifacts.
+pub const ATLAS_ARTIFACTS: [&str; 7] = ["table1", "fig1", "fig5", "fig6", "fig8", "fig9", "table2"];
+/// The paper's CDN-side artifacts.
+pub const CDN_ARTIFACTS: [&str; 4] = ["fig2", "fig3", "fig4", "fig7"];
+/// The extended (Section-6) artifacts.
+pub const EXTENDED_ARTIFACTS: [&str; 9] = [
+    "evolution",
+    "pools",
+    "scanplan",
+    "targetgen",
+    "tracking",
+    "counting",
+    "anonymize",
+    "blocklist",
+    "sanitizer",
+];
+
+/// Extended artifacts driven by the shared clean-history collection.
+const HISTORY_ARTIFACTS: [&str; 4] = ["evolution", "pools", "scanplan", "targetgen"];
+
+/// Is `name` an artifact the engine can render?
+pub fn is_known_artifact(name: &str) -> bool {
+    ATLAS_ARTIFACTS.contains(&name)
+        || CDN_ARTIFACTS.contains(&name)
+        || EXTENDED_ARTIFACTS.contains(&name)
+        || matches!(name, "claims" | "check" | "seeds")
+}
+
+/// Cache key: a world is fully determined by its era, seed, and scale.
+/// Scale is keyed by bit pattern so the map never compares floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WorldKey {
+    era: Era,
+    seed: u64,
+    scale_bits: u64,
+}
+
+/// Shared world cache: each distinct `(era, seed, scale)` world is built
+/// exactly once, even under concurrent requests, and shared via `Arc`.
+#[derive(Default)]
+pub struct WorldCache {
+    worlds: Mutex<HashMap<WorldKey, Arc<OnceLock<Arc<World>>>>>,
+    builds: AtomicUsize,
+}
+
+impl WorldCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or build the world for `(era, seed, scale)`.
+    pub fn get(&self, era: Era, seed: u64, scale: f64) -> Arc<World> {
+        let key = WorldKey {
+            era,
+            seed,
+            scale_bits: scale.to_bits(),
+        };
+        // Hold the map lock only to fetch the slot; construction happens
+        // outside it so concurrent requests for *different* worlds build
+        // in parallel, while OnceLock serializes requests for the same one.
+        let slot = {
+            let mut map = self.worlds.lock().expect("world cache poisoned");
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(match era {
+                Era::Atlas => atlas_world(seed, scale),
+                Era::Cdn => cdn_world(seed, scale),
+            })
+        })
+        .clone()
+    }
+
+    /// The Atlas-era world for `(seed, scale)`.
+    pub fn atlas(&self, seed: u64, scale: f64) -> Arc<World> {
+        self.get(Era::Atlas, seed, scale)
+    }
+
+    /// The CDN-era world for `(seed, scale)`.
+    pub fn cdn(&self, seed: u64, scale: f64) -> Arc<World> {
+        self.get(Era::Cdn, seed, scale)
+    }
+
+    /// How many worlds were actually constructed (cache misses).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+/// Resolve the worker count: explicit flag, then the `DYNAMIPS_THREADS`
+/// environment variable, then the machine's available parallelism.
+pub fn worker_count(flag: Option<usize>) -> usize {
+    flag.or_else(|| {
+        std::env::var("DYNAMIPS_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+    .unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+    .max(1)
+}
+
+/// One rendered artifact, in request order.
+pub struct RenderedArtifact {
+    /// The artifact name as requested.
+    pub name: String,
+    /// The rendered text.
+    pub text: String,
+    /// `false` only for a `check` whose predicates failed.
+    pub ok: bool,
+}
+
+/// The engine's result: rendered artifacts plus the perf record.
+pub struct EngineOutput {
+    /// Artifacts in request order.
+    pub artifacts: Vec<RenderedArtifact>,
+    /// Wall-time accounting for `--timings` / `BENCH_all.json`.
+    pub perf: PerfRecord,
+}
+
+/// Everything a renderer may need, shared read-only across workers.
+struct EngineContext<'a> {
+    cfg: &'a ExperimentConfig,
+    atlas: Option<AtlasAnalysis>,
+    cdn: Option<CdnAnalysis>,
+    histories: Option<CleanHistories>,
+    atlas_world: Option<Arc<World>>,
+}
+
+impl EngineContext<'_> {
+    fn atlas(&self) -> &AtlasAnalysis {
+        self.atlas.as_ref().expect("atlas analysis computed")
+    }
+    fn cdn(&self) -> &CdnAnalysis {
+        self.cdn.as_ref().expect("cdn analysis computed")
+    }
+    fn histories(&self) -> &CleanHistories {
+        self.histories.as_ref().expect("histories collected")
+    }
+    fn world(&self) -> &World {
+        self.atlas_world.as_deref().expect("atlas world built")
+    }
+}
+
+/// Render one artifact from the shared products. Returns the text and
+/// whether it passed (only `check` can fail).
+fn render_one(name: &str, ctx: &EngineContext<'_>) -> (String, bool) {
+    let text = match name {
+        "table1" => atlas_exps::table1(ctx.atlas()),
+        "fig1" => atlas_exps::fig1(ctx.atlas()),
+        "fig5" => atlas_exps::fig5(ctx.atlas()),
+        "fig6" => atlas_exps::fig6(ctx.atlas()),
+        "fig8" => atlas_exps::fig8(ctx.atlas()),
+        "fig9" => atlas_exps::fig9(ctx.atlas()),
+        "table2" => atlas_exps::table2(ctx.atlas()),
+        "fig2" => cdn_exps::fig2(ctx.cdn()),
+        "fig3" => cdn_exps::fig3(ctx.cdn()),
+        "fig4" => cdn_exps::fig4(ctx.cdn()),
+        "fig7" => cdn_exps::fig7(ctx.cdn()),
+        "claims" => claims::render(ctx.atlas(), ctx.cdn()),
+        "check" => return check::render_and_ok(ctx.atlas(), ctx.cdn()),
+        "evolution" => extended::evolution_with(ctx.world(), ctx.histories()),
+        "pools" => extended::pool_boundaries_with(ctx.world(), ctx.histories()),
+        "scanplan" => extended::scan_plans_with(ctx.world(), ctx.histories()),
+        "targetgen" => extended::target_generation_with(ctx.world(), ctx.histories()),
+        "tracking" => extended::tracking_report_with(ctx.world()),
+        "anonymize" => extended::anonymize_audit_with(ctx.world()),
+        "blocklist" => extended::blocklist_sweep_with(ctx.world()),
+        "counting" => extended::counting_report_with(ctx.world(), ctx.cfg.seed),
+        "sanitizer" => extended::sanitizer_report_with(ctx.world(), ctx.cfg.atlas_scale),
+        "seeds" => extended::seed_robustness(ctx.cfg),
+        other => unreachable!("unvalidated artifact {other:?}"),
+    };
+    (text, true)
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Compute every analysis the requested artifacts need (phase A, shared
+/// products in parallel), then render the artifacts across `workers`
+/// threads (phase B, fan-out). `wanted` must already be validated with
+/// [`is_known_artifact`].
+pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineOutput {
+    let started = Instant::now();
+    let cache = WorldCache::new();
+
+    let needs_atlas = wanted
+        .iter()
+        .any(|w| ATLAS_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
+    let needs_cdn = wanted
+        .iter()
+        .any(|w| CDN_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
+    let needs_histories = wanted.iter().any(|w| HISTORY_ARTIFACTS.contains(&w.as_str()));
+    let needs_atlas_world =
+        needs_atlas || needs_histories || wanted.iter().any(|w| EXTENDED_ARTIFACTS.contains(&w.as_str()));
+
+    // --- Phase A: shared products.
+    //
+    // Three independent computations (Atlas collect+analyze, CDN
+    // collect+analyze, clean-history collection) run concurrently; the
+    // world cache guarantees the Atlas world is still built exactly once
+    // even though two of them need it. Each task times itself; the world
+    // build is timed by whichever task wins the OnceLock race, via the
+    // prefetch below.
+    let mut phases: Vec<PerfEntry> = Vec::new();
+    let mut atlas_analysis: Option<AtlasAnalysis> = None;
+    let mut cdn_analysis: Option<CdnAnalysis> = None;
+    let mut histories: Option<CleanHistories> = None;
+
+    let atlas_world_handle: Option<(Arc<World>, f64)> = needs_atlas_world.then(|| {
+        let t = Instant::now();
+        let w = cache.atlas(cfg.seed, cfg.atlas_scale);
+        (w, ms(t))
+    });
+    if let Some((_, world_ms)) = &atlas_world_handle {
+        phases.push(PerfEntry {
+            name: "atlas-world".into(),
+            ms: *world_ms,
+        });
+    }
+
+    if workers <= 1 {
+        if needs_atlas {
+            let (w, _) = atlas_world_handle.as_ref().expect("atlas world prefetched");
+            let t = Instant::now();
+            let mut deg = DegradationReport::new();
+            atlas_analysis = Some(AtlasAnalysis::compute_for_world(w, 1, &mut deg));
+            phases.push(PerfEntry {
+                name: "atlas-analysis".into(),
+                ms: ms(t),
+            });
+        }
+        if needs_cdn {
+            let t = Instant::now();
+            let w = cache.cdn(cfg.seed, cfg.cdn_scale);
+            phases.push(PerfEntry {
+                name: "cdn-world".into(),
+                ms: ms(t),
+            });
+            let t = Instant::now();
+            let mut deg = DegradationReport::new();
+            cdn_analysis = Some(CdnAnalysis::compute_for_world(&w, &mut deg));
+            phases.push(PerfEntry {
+                name: "cdn-analysis".into(),
+                ms: ms(t),
+            });
+        }
+        if needs_histories {
+            let (w, _) = atlas_world_handle.as_ref().expect("atlas world prefetched");
+            let t = Instant::now();
+            histories = Some(extended::clean_histories(w, Window::atlas_paper()));
+            phases.push(PerfEntry {
+                name: "histories".into(),
+                ms: ms(t),
+            });
+        }
+    } else {
+        let (a, c, h) = thread::scope(|scope| {
+            let cache = &cache;
+            let atlas_world_ref = atlas_world_handle.as_ref().map(|(w, _)| w);
+            let ja = needs_atlas.then(|| {
+                let w = atlas_world_ref.expect("atlas world prefetched").clone();
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let mut deg = DegradationReport::new();
+                    let a = AtlasAnalysis::compute_for_world(&w, workers, &mut deg);
+                    (a, ms(t))
+                })
+            });
+            let jc = needs_cdn.then(|| {
+                scope.spawn(move || {
+                    let tw = Instant::now();
+                    let w = cache.cdn(cfg.seed, cfg.cdn_scale);
+                    let world_ms = ms(tw);
+                    let t = Instant::now();
+                    let mut deg = DegradationReport::new();
+                    let c = CdnAnalysis::compute_for_world(&w, &mut deg);
+                    (c, world_ms, ms(t))
+                })
+            });
+            let jh = needs_histories.then(|| {
+                let w = atlas_world_ref.expect("atlas world prefetched").clone();
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    let h = extended::clean_histories(&w, Window::atlas_paper());
+                    (h, ms(t))
+                })
+            });
+            (
+                ja.map(|j| j.join().expect("atlas analysis thread")),
+                jc.map(|j| j.join().expect("cdn analysis thread")),
+                jh.map(|j| j.join().expect("histories thread")),
+            )
+        });
+        if let Some((analysis, t)) = a {
+            atlas_analysis = Some(analysis);
+            phases.push(PerfEntry {
+                name: "atlas-analysis".into(),
+                ms: t,
+            });
+        }
+        if let Some((analysis, world_ms, t)) = c {
+            cdn_analysis = Some(analysis);
+            phases.push(PerfEntry {
+                name: "cdn-world".into(),
+                ms: world_ms,
+            });
+            phases.push(PerfEntry {
+                name: "cdn-analysis".into(),
+                ms: t,
+            });
+        }
+        if let Some((collected, t)) = h {
+            histories = Some(collected);
+            phases.push(PerfEntry {
+                name: "histories".into(),
+                ms: t,
+            });
+        }
+    }
+
+    let ctx = EngineContext {
+        cfg,
+        atlas: atlas_analysis,
+        cdn: cdn_analysis,
+        histories,
+        atlas_world: atlas_world_handle.map(|(w, _)| w),
+    };
+
+    // --- Phase B: render fan-out.
+    //
+    // A shared atomic index deals artifacts to workers; each result lands
+    // in its request-order slot, so output order never depends on timing.
+    let slots: Vec<OnceLock<(String, bool, f64)>> =
+        wanted.iter().map(|_| OnceLock::new()).collect();
+    let render = |i: usize| {
+        let t = Instant::now();
+        let (text, ok) = render_one(&wanted[i], &ctx);
+        slots[i]
+            .set((text, ok, ms(t)))
+            .unwrap_or_else(|_| panic!("artifact slot {i} rendered twice"));
+    };
+    if workers <= 1 {
+        (0..wanted.len()).for_each(render);
+    } else {
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers.min(wanted.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= wanted.len() {
+                        break;
+                    }
+                    render(i);
+                });
+            }
+        });
+    }
+
+    let mut artifacts = Vec::with_capacity(wanted.len());
+    let mut artifact_times = Vec::with_capacity(wanted.len());
+    for (name, slot) in wanted.iter().zip(slots) {
+        let (text, ok, t) = slot.into_inner().expect("artifact rendered");
+        artifact_times.push(PerfEntry {
+            name: name.clone(),
+            ms: t,
+        });
+        artifacts.push(RenderedArtifact {
+            name: name.clone(),
+            text,
+            ok,
+        });
+    }
+
+    let perf = PerfRecord {
+        seed: cfg.seed,
+        atlas_scale: cfg.atlas_scale,
+        cdn_scale: cfg.cdn_scale,
+        workers,
+        worlds_built: cache.builds(),
+        total_ms: ms(started),
+        phases,
+        artifacts: artifact_times,
+    };
+    EngineOutput { artifacts, perf }
+}
+
+/// Render the `--timings` table from a perf record.
+pub fn render_timings(perf: &PerfRecord) -> String {
+    use dynamips_core::report::TextTable;
+    let mut t = TextTable::new(&["stage", "wall ms"]);
+    for e in perf.phases.iter().chain(perf.artifacts.iter()) {
+        t.row(&[e.name.clone(), format!("{:.1}", e.ms)]);
+    }
+    format!(
+        "Engine timings: {} workers, {} world(s) built, {:.1} ms total\n\n{}",
+        perf.workers,
+        perf.worlds_built,
+        perf.total_ms,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_cache_builds_each_distinct_world_once() {
+        let cache = WorldCache::new();
+        let w1 = cache.atlas(5, 0.01);
+        let w2 = cache.atlas(5, 0.01);
+        assert!(Arc::ptr_eq(&w1, &w2));
+        assert_eq!(cache.builds(), 1);
+        // Different era, seed, or scale are distinct worlds.
+        cache.cdn(5, 0.01);
+        cache.atlas(6, 0.01);
+        cache.atlas(5, 0.02);
+        assert_eq!(cache.builds(), 4);
+    }
+
+    #[test]
+    fn world_cache_is_race_free_under_concurrent_requests() {
+        let cache = WorldCache::new();
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| cache.atlas(7, 0.01));
+            }
+        });
+        assert_eq!(cache.builds(), 1);
+    }
+
+    #[test]
+    fn worker_count_prefers_flag() {
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(0)), 1, "clamped to at least one");
+        assert!(worker_count(None) >= 1);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let cfg = ExperimentConfig {
+            seed: 11,
+            atlas_scale: 0.02,
+            cdn_scale: 0.02,
+        };
+        let wanted: Vec<String> = ["table1", "fig8", "fig3", "tracking", "evolution"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let seq = run(&cfg, &wanted, 1);
+        let par = run(&cfg, &wanted, 4);
+        assert_eq!(seq.artifacts.len(), par.artifacts.len());
+        for (s, p) in seq.artifacts.iter().zip(par.artifacts.iter()) {
+            assert_eq!(s.name, p.name, "request order preserved");
+            assert_eq!(s.text, p.text, "artifact {} differs across worker counts", s.name);
+            assert_eq!(s.ok, p.ok);
+        }
+        // Atlas world shared by analysis + histories + tracking; CDN world
+        // for fig3: exactly two builds each run.
+        assert_eq!(seq.perf.worlds_built, 2);
+        assert_eq!(par.perf.worlds_built, 2);
+        assert_eq!(par.perf.workers, 4);
+        // The perf record round-trips through its JSON form.
+        let back = PerfRecord::parse(&par.perf.to_json()).expect("perf json parses");
+        assert_eq!(back.worlds_built, 2);
+        assert_eq!(back.artifacts.len(), wanted.len());
+        assert!(render_timings(&par.perf).contains("atlas-analysis"));
+    }
+
+    #[test]
+    fn known_artifact_names() {
+        assert!(is_known_artifact("table1"));
+        assert!(is_known_artifact("check"));
+        assert!(is_known_artifact("sanitizer"));
+        assert!(is_known_artifact("seeds"));
+        assert!(!is_known_artifact("TYPO"));
+        assert!(!is_known_artifact("all"));
+    }
+}

@@ -1,9 +1,13 @@
 //! Extended experiments beyond the paper's figures: the Section-6
 //! applications, run against the simulated ground truth.
 //!
-//! Unlike the `table*`/`fig*` artifacts, these build their own focused
-//! worlds (they need per-probe histories or ground-truth subscriber
-//! identity, which the streaming figure pipeline deliberately discards).
+//! Unlike the `table*`/`fig*` artifacts, these need per-probe histories
+//! or ground-truth subscriber identity, which the streaming figure
+//! pipeline deliberately discards. Each artifact has two entry points:
+//! a `*(cfg)` convenience that builds its own world, and a `*_with(...)`
+//! form taking a pre-built world (and, where applicable, pre-collected
+//! [`clean_histories`]) so the engine can share one world and one
+//! history collection across all of them.
 
 use crate::context::ExperimentConfig;
 use dynamips_atlas::{AtlasCollector, AtlasConfig};
@@ -25,8 +29,12 @@ use std::collections::BTreeMap;
 /// The ASes the extended experiments focus on.
 const FOCUS_ASES: [&str; 5] = ["DTAG", "Orange", "Comcast", "LGI", "Netcologne"];
 
+/// Clean per-probe histories grouped by AS — the shared input of the
+/// history-driven extended artifacts.
+pub type CleanHistories = BTreeMap<Asn, Vec<ProbeHistory>>;
+
 /// Collect clean per-probe histories, grouped by AS.
-fn clean_histories(world: &World, window: Window) -> BTreeMap<Asn, Vec<ProbeHistory>> {
+pub fn clean_histories(world: &World, window: Window) -> CleanHistories {
     let collector = AtlasCollector::new(world, window, AtlasConfig::default());
     let cfg = SanitizeConfig::default();
     let mut report = SanitizeReport::default();
@@ -46,11 +54,16 @@ fn clean_histories(world: &World, window: Window) -> BTreeMap<Asn, Vec<ProbeHist
 /// Year-over-year evolution of assignment durations (Section 3.2,
 /// "Evolution over time").
 pub fn evolution(cfg: &ExperimentConfig) -> String {
+    let world = atlas_world(cfg.seed, cfg.atlas_scale);
+    let by_as = clean_histories(&world, Window::atlas_paper());
+    evolution_with(&world, &by_as)
+}
+
+/// [`evolution`] against a pre-built world and history collection.
+pub fn evolution_with(world: &World, by_as: &CleanHistories) -> String {
     use dynamips_core::evolution::YearlySurvival;
 
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
     let window = Window::atlas_paper();
-    let by_as = clean_histories(&world, window);
 
     let mut out = String::from(
         "Evolution over time: share of assignments (sampled each July 1st)\n\
@@ -115,9 +128,12 @@ pub fn evolution(cfg: &ExperimentConfig) -> String {
 /// Pool-boundary inference vs. the configured ground truth (Section 5.2).
 pub fn pool_boundaries(cfg: &ExperimentConfig) -> String {
     let world = atlas_world(cfg.seed, cfg.atlas_scale);
-    let window = Window::atlas_paper();
-    let by_as = clean_histories(&world, window);
+    let by_as = clean_histories(&world, Window::atlas_paper());
+    pool_boundaries_with(&world, &by_as)
+}
 
+/// [`pool_boundaries`] against a pre-built world and history collection.
+pub fn pool_boundaries_with(world: &World, by_as: &CleanHistories) -> String {
     let mut t = TextTable::new(&[
         "AS",
         "probes",
@@ -163,9 +179,14 @@ pub fn pool_boundaries(cfg: &ExperimentConfig) -> String {
 /// from the first half of the window, relocate assignments from the second.
 pub fn scan_plans(cfg: &ExperimentConfig) -> String {
     let world = atlas_world(cfg.seed, cfg.atlas_scale);
+    let by_as = clean_histories(&world, Window::atlas_paper());
+    scan_plans_with(&world, &by_as)
+}
+
+/// [`scan_plans`] against a pre-built world and history collection.
+pub fn scan_plans_with(world: &World, by_as: &CleanHistories) -> String {
     let full = Window::atlas_paper();
     let mid = SimTime(full.start.hours() + full.hours() / 2);
-    let by_as = clean_histories(&world, full);
 
     let mut t = TextTable::new(&[
         "AS",
@@ -274,13 +295,18 @@ pub fn scan_plans(cfg: &ExperimentConfig) -> String {
 /// budget, how do Entropy/IP-lite and 6Gen-lite compare with the
 /// boundary-guided plan at relocating second-half /64 assignments?
 pub fn target_generation(cfg: &ExperimentConfig) -> String {
+    let world = atlas_world(cfg.seed, cfg.atlas_scale);
+    let by_as = clean_histories(&world, Window::atlas_paper());
+    target_generation_with(&world, &by_as)
+}
+
+/// [`target_generation`] against a pre-built world and history collection.
+pub fn target_generation_with(world: &World, by_as: &CleanHistories) -> String {
     use dynamips_core::hitlist::hit_rate;
     use dynamips_core::targetgen::{sixgen_targets, NibbleModel};
 
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
     let full = Window::atlas_paper();
     let mid = SimTime(full.start.hours() + full.hours() / 2);
-    let by_as = clean_histories(&world, full);
 
     let mut t = TextTable::new(&["AS", "budget", "boundary plan", "entropy-lite", "6gen-lite"]);
     for isp in world.isps() {
@@ -359,10 +385,14 @@ pub fn target_generation(cfg: &ExperimentConfig) -> String {
 /// Host-trackability comparison (Section 2.3): privacy addresses vs. the
 /// /64 network prefix vs. EUI-64 relocation, per network.
 pub fn tracking_report(cfg: &ExperimentConfig) -> String {
+    tracking_report_with(&atlas_world(cfg.seed, cfg.atlas_scale))
+}
+
+/// [`tracking_report`] against a pre-built world.
+pub fn tracking_report_with(world: &World) -> String {
     use dynamips_core::stats::quantile;
     use dynamips_core::tracking::{evaluate, TrackingKey};
 
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
     let window = Window::new(SimTime(0), SimTime(180 * 24));
     let mut t = TextTable::new(&[
         "AS",
@@ -429,7 +459,11 @@ pub fn tracking_report(cfg: &ExperimentConfig) -> String {
 /// Truncation-anonymization audit against ground-truth subscriber identity
 /// (Section 6, privacy).
 pub fn anonymize_audit(cfg: &ExperimentConfig) -> String {
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
+    anonymize_audit_with(&atlas_world(cfg.seed, cfg.atlas_scale))
+}
+
+/// [`anonymize_audit`] against a pre-built world.
+pub fn anonymize_audit_with(world: &World) -> String {
     // A 90-day snapshot is what a shared dataset would cover.
     let window = Window::new(SimTime(0), SimTime(90 * 24));
 
@@ -471,7 +505,11 @@ pub fn anonymize_audit(cfg: &ExperimentConfig) -> String {
 
 /// Blocklist policy sweep against ground truth (Section 6, reputation).
 pub fn blocklist_sweep(cfg: &ExperimentConfig) -> String {
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
+    blocklist_sweep_with(&atlas_world(cfg.seed, cfg.atlas_scale))
+}
+
+/// [`blocklist_sweep`] against a pre-built world.
+pub fn blocklist_sweep_with(world: &World) -> String {
     let window = Window::new(SimTime(0), SimTime(120 * 24));
     let mut out = String::from(
         "Blocklist policy sweep (Section 6): a bad actor is blocked at hour\n240; efficacy = useful fraction of the TTL, collateral = innocent\nsubscribers ever covered by the block.\n\n",
@@ -530,10 +568,15 @@ pub fn blocklist_sweep(cfg: &ExperimentConfig) -> String {
 /// User-counting experiment (Section 2.3): how badly do naive per-address
 /// and per-/64 estimators overcount the true subscriber population?
 pub fn counting_report(cfg: &ExperimentConfig) -> String {
+    counting_report_with(&atlas_world(cfg.seed, cfg.atlas_scale), cfg.seed)
+}
+
+/// [`counting_report`] against a pre-built world; `seed` drives the
+/// per-home device synthesis.
+pub fn counting_report_with(world: &World, seed: u64) -> String {
     use dynamips_cdn::devices::{observe_devices, DeviceConfig};
     use dynamips_core::counting::estimate_counts;
 
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
     let window = Window::new(SimTime(0), SimTime(30 * 24));
     let device_cfg = DeviceConfig::default();
 
@@ -551,7 +594,7 @@ pub fn counting_report(cfg: &ExperimentConfig) -> String {
         }
         let mut obs: Vec<(u32, std::net::Ipv6Addr)> = Vec::new();
         for tl in result.timelines.iter().filter(|t| !t.v6.is_empty()) {
-            for o in observe_devices(tl, window, &device_cfg, cfg.seed) {
+            for o in observe_devices(tl, window, &device_cfg, seed) {
                 obs.push((o.subscriber, o.address));
             }
         }
@@ -576,12 +619,17 @@ pub fn counting_report(cfg: &ExperimentConfig) -> String {
 /// Sanitizer accounting and value (Appendix A.1): what the filters remove,
 /// and how the duration distribution would be distorted without them.
 pub fn sanitizer_report(cfg: &ExperimentConfig) -> String {
+    sanitizer_report_with(&atlas_world(cfg.seed, cfg.atlas_scale), cfg.atlas_scale)
+}
+
+/// [`sanitizer_report`] against a pre-built world; `atlas_scale` only
+/// labels the output.
+pub fn sanitizer_report_with(world: &World, atlas_scale: f64) -> String {
     use dynamips_core::changes::{histories_from_records, sandwiched_durations};
     use dynamips_core::durations::DurationSet;
 
-    let world = atlas_world(cfg.seed, cfg.atlas_scale);
     let window = Window::atlas_paper();
-    let collector = AtlasCollector::new(&world, window, AtlasConfig::default());
+    let collector = AtlasCollector::new(world, window, AtlasConfig::default());
     let scfg = SanitizeConfig::default();
     let mut report = SanitizeReport::default();
     let mut clean = DurationSet::new();
@@ -622,7 +670,7 @@ pub fn sanitizer_report(cfg: &ExperimentConfig) -> String {
     let clean_1h = clean.cumulative_ttf_at(&[2])[0];
     format!(
         "Appendix A.1 sanitizer: per-filter accounting at Atlas scale {:.2}, plus the distortion it prevents.\n\n{}\nfraction of total v4 assignment time in <=2h 'durations':\nraw (no sanitizer):  {raw_1h:.4}\nsanitized:           {clean_1h:.4}\n(multihomed alternation and test addresses fabricate sub-hourly churn;\nthe sanitizer removes virtually all of it)\n",
-        cfg.atlas_scale,
+        atlas_scale,
         t.render()
     )
 }

@@ -9,10 +9,13 @@
 //!   association dataset and accumulates the CDN artifacts (Figures 2–4, 7).
 //!
 //! Each `table*`/`fig*` module renders one artifact from those products as
-//! plain text in the paper's layout. The [`chaos`] module drives the
-//! adversarial-ingest sweep (`dynamips chaos`): corrupt the TSV dumps,
-//! re-ingest through the lossy loaders, and verify the paper shapes
-//! survive.
+//! plain text in the paper's layout. The [`engine`] module orchestrates a
+//! full run: a world cache builds each distinct `(era, seed, scale)` world
+//! exactly once, the analyses compute concurrently, and the artifact
+//! renderers fan out across a worker pool — byte-identical to a
+//! single-thread run. The [`chaos`] module drives the adversarial-ingest
+//! sweep (`dynamips chaos`): corrupt the TSV dumps, re-ingest through the
+//! lossy loaders, and verify the paper shapes survive.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -23,6 +26,7 @@ pub mod chaos;
 pub mod check;
 pub mod claims;
 pub mod context;
+pub mod engine;
 pub mod extended;
 
 pub use context::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};

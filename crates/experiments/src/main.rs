@@ -4,30 +4,18 @@
 //! dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...
 //! dynamips all            # everything
 //! dynamips table1 fig5    # a subset
+//! dynamips --threads 8 --timings all   # parallel engine + wall-time table
 //! dynamips chaos --rate 0.01 --seeds 5   # adversarial-ingest sweep
 //! ```
+//!
+//! Artifact names and `--out` writability are validated *before* any
+//! analysis runs, so a typo exits immediately with code 2 instead of
+//! after minutes of computation.
 //!
 //! Exit codes: `0` on success, `1` on a run failure (I/O error, failed
 //! `check` predicates, failed `chaos` sweep), `2` on a usage error.
 
-use dynamips_experiments::{
-    atlas_exps, cdn_exps, chaos, check, claims, extended, AtlasAnalysis, CdnAnalysis,
-    ExperimentConfig,
-};
-
-const ATLAS_ARTIFACTS: [&str; 7] = ["table1", "fig1", "fig5", "fig6", "fig8", "fig9", "table2"];
-const CDN_ARTIFACTS: [&str; 4] = ["fig2", "fig3", "fig4", "fig7"];
-const EXTENDED_ARTIFACTS: [&str; 9] = [
-    "evolution",
-    "pools",
-    "scanplan",
-    "targetgen",
-    "tracking",
-    "counting",
-    "anonymize",
-    "blocklist",
-    "sanitizer",
-];
+use dynamips_experiments::{chaos, engine, extended, ExperimentConfig};
 
 /// Exit code for usage errors (bad flags, unknown artifacts).
 const EXIT_USAGE: i32 = 2;
@@ -38,18 +26,21 @@ fn usage() -> ! {
     eprintln!(
         "usage: dynamips [--seed N] [--atlas-scale X] [--cdn-scale Y] <artifact>...\n\
          artifacts: {} {} claims check all\n\
-         extended:  {} (run their own focused worlds)\n\
+         extended:  {} (share the engine's cached world)\n\
          datasets:  dump-atlas <path> | dump-cdn <path>\n\
          chaos:     chaos [--rate R]... [--seeds N] [--fail-threshold T]\n\
          \x20          (corrupt the TSV dumps, re-ingest through the lossy\n\
          \x20          loaders, verify the paper shapes survive; defaults to\n\
          \x20          the reference scale: seed 2020, scales 0.2/0.15)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
+         \x20          --threads N engine worker threads (default: all cores,\n\
+         \x20          or DYNAMIPS_THREADS); --timings prints the per-stage\n\
+         \x20          wall-time table to stderr and writes BENCH_all.json\n\
          extra:     seeds (robustness across seeds; not part of `all`)\n\
          exit code: 0 success, 1 run failure (I/O, failed check or chaos), 2 usage",
-        ATLAS_ARTIFACTS.join(" "),
-        CDN_ARTIFACTS.join(" "),
-        EXTENDED_ARTIFACTS.join(" "),
+        engine::ATLAS_ARTIFACTS.join(" "),
+        engine::CDN_ARTIFACTS.join(" "),
+        engine::EXTENDED_ARTIFACTS.join(" "),
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -65,6 +56,8 @@ fn main() {
     let mut chaos_rates: Vec<f64> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut timings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,6 +69,10 @@ fn main() {
             "--cdn-scale" => {
                 cdn_scale = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--threads" => {
+                threads = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--timings" => timings = true,
             "--rate" => chaos_rates.push(
                 args.next()
                     .and_then(|v| v.parse().ok())
@@ -137,14 +134,15 @@ fn main() {
         cfg.cdn_scale = s;
     }
 
-    if wanted.iter().any(|w| w == "all") {
-        wanted = ATLAS_ARTIFACTS
+    let ran_all = wanted.iter().any(|w| w == "all");
+    if ran_all {
+        wanted = engine::ATLAS_ARTIFACTS
             .iter()
-            .chain(CDN_ARTIFACTS.iter())
+            .chain(engine::CDN_ARTIFACTS.iter())
             .map(|s| s.to_string())
             .chain(std::iter::once("claims".to_string()))
             .chain(std::iter::once("check".to_string()))
-            .chain(EXTENDED_ARTIFACTS.iter().map(|s| s.to_string()))
+            .chain(engine::EXTENDED_ARTIFACTS.iter().map(|s| s.to_string()))
             .collect();
     }
 
@@ -166,82 +164,72 @@ fn main() {
         return;
     }
 
-    let needs_atlas = wanted
-        .iter()
-        .any(|w| ATLAS_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
-    let needs_cdn = wanted
-        .iter()
-        .any(|w| CDN_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
+    // Validate the whole request *before* computing anything: a typo'd
+    // artifact or an unwritable --out must not cost minutes of analysis.
+    for artifact in &wanted {
+        if !engine::is_known_artifact(artifact) {
+            eprintln!("unknown artifact {artifact:?}");
+            usage();
+        }
+    }
+    if let Some(dir) = &out_dir {
+        let probe = dir.join(".dynamips-write-probe");
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&probe, b""))
+            .and_then(|()| std::fs::remove_file(&probe))
+        {
+            eprintln!("--out {} is not writable: {e}", dir.display());
+            std::process::exit(EXIT_RUN_FAILURE);
+        }
+    }
 
-    let atlas = needs_atlas.then(|| {
-        eprintln!(
-            "[dynamips] computing Atlas analysis (seed {}, scale {})...",
-            cfg.seed, cfg.atlas_scale
-        );
-        AtlasAnalysis::compute(&cfg)
-    });
-    let cdn = needs_cdn.then(|| {
-        eprintln!(
-            "[dynamips] computing CDN analysis (seed {}, scale {})...",
-            cfg.seed, cfg.cdn_scale
-        );
-        CdnAnalysis::compute(&cfg)
-    });
+    let workers = engine::worker_count(threads);
+    eprintln!(
+        "[dynamips] engine: {} artifact(s), {} worker(s), seed {}, scales {}/{}",
+        wanted.len(),
+        workers,
+        cfg.seed,
+        cfg.atlas_scale,
+        cfg.cdn_scale
+    );
+    let output = engine::run(&cfg, &wanted, workers);
 
     let mut run_failed = false;
-    for artifact in &wanted {
-        let text = match artifact.as_str() {
-            "table1" => atlas_exps::table1(atlas.as_ref().expect("atlas computed")),
-            "fig1" => atlas_exps::fig1(atlas.as_ref().expect("atlas computed")),
-            "fig5" => atlas_exps::fig5(atlas.as_ref().expect("atlas computed")),
-            "fig6" => atlas_exps::fig6(atlas.as_ref().expect("atlas computed")),
-            "fig8" => atlas_exps::fig8(atlas.as_ref().expect("atlas computed")),
-            "fig9" => atlas_exps::fig9(atlas.as_ref().expect("atlas computed")),
-            "table2" => atlas_exps::table2(atlas.as_ref().expect("atlas computed")),
-            "fig2" => cdn_exps::fig2(cdn.as_ref().expect("cdn computed")),
-            "fig3" => cdn_exps::fig3(cdn.as_ref().expect("cdn computed")),
-            "fig4" => cdn_exps::fig4(cdn.as_ref().expect("cdn computed")),
-            "fig7" => cdn_exps::fig7(cdn.as_ref().expect("cdn computed")),
-            "claims" => claims::render(
-                atlas.as_ref().expect("atlas computed"),
-                cdn.as_ref().expect("cdn computed"),
-            ),
-            "check" => {
-                let (text, ok) = check::render_and_ok(
-                    atlas.as_ref().expect("atlas computed"),
-                    cdn.as_ref().expect("cdn computed"),
-                );
-                if !ok {
-                    run_failed = true;
-                }
-                text
-            }
-            "evolution" => extended::evolution(&cfg),
-            "pools" => extended::pool_boundaries(&cfg),
-            "scanplan" => extended::scan_plans(&cfg),
-            "targetgen" => extended::target_generation(&cfg),
-            "tracking" => extended::tracking_report(&cfg),
-            "anonymize" => extended::anonymize_audit(&cfg),
-            "blocklist" => extended::blocklist_sweep(&cfg),
-            "sanitizer" => extended::sanitizer_report(&cfg),
-            "counting" => extended::counting_report(&cfg),
-            "seeds" => extended::seed_robustness(&cfg),
-            other => {
-                eprintln!("unknown artifact {other:?}");
-                usage();
-            }
-        };
+    for artifact in &output.artifacts {
         println!("{}", "=".repeat(72));
-        println!("{text}");
+        println!("{}", artifact.text);
+        if !artifact.ok {
+            run_failed = true;
+        }
         if let Some(dir) = &out_dir {
-            if let Err(e) = std::fs::create_dir_all(dir)
-                .and_then(|()| std::fs::write(dir.join(format!("{artifact}.txt")), &text))
-            {
-                eprintln!("failed to write {artifact}.txt: {e}");
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                std::fs::write(dir.join(format!("{}.txt", artifact.name)), &artifact.text)
+            }) {
+                eprintln!("failed to write {}.txt: {e}", artifact.name);
                 std::process::exit(EXIT_RUN_FAILURE);
             }
         }
     }
+
+    // Timings go to stderr (and the bench record to disk) so stdout stays
+    // byte-identical across worker counts and --timings settings.
+    if timings {
+        eprintln!("{}", engine::render_timings(&output.perf));
+    }
+    if timings || ran_all {
+        let path = out_dir
+            .as_deref()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join("BENCH_all.json");
+        match std::fs::write(&path, output.perf.to_json()) {
+            Ok(()) => eprintln!("[dynamips] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
+        }
+    }
+
     if run_failed {
         eprintln!("[dynamips] self-check failed");
         std::process::exit(EXIT_RUN_FAILURE);

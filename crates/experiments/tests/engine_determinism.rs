@@ -1,0 +1,149 @@
+//! End-to-end engine guarantees, driven through the real binary:
+//!
+//! * the parallel engine's stdout and `--out` file set are byte-identical
+//!   to a forced single-thread run,
+//! * `--timings` renders the wall-time table and `BENCH_all.json` parses
+//!   and reports exactly one build per distinct world,
+//! * an unknown artifact exits with the usage code *before* any analysis
+//!   starts.
+
+use dynamips_core::perf::PerfRecord;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dynamips"))
+}
+
+/// Artifact list covering both worlds and every extended input class
+/// (analysis-fed, history-fed, world-fed), at a scale small enough for a
+/// test. `check`/`claims` are excluded: their predicates are calibrated
+/// to the reference scale and would fail here by design.
+const ARTIFACTS: [&str; 7] = [
+    "table1", "fig8", "fig2", "fig3", "evolution", "tracking", "sanitizer",
+];
+
+fn run_engine(threads: &str, out: &Path) -> Output {
+    let mut cmd = bin();
+    cmd.args([
+        "--seed",
+        "9",
+        "--atlas-scale",
+        "0.02",
+        "--cdn-scale",
+        "0.02",
+        "--threads",
+        threads,
+        "--timings",
+        "--out",
+    ])
+    .arg(out)
+    .args(ARTIFACTS);
+    cmd.output().expect("binary runs")
+}
+
+fn read_dir_sorted(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("out dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn temp_out(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dynamips-engine-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_single_thread() {
+    let out1 = temp_out("seq");
+    let out4 = temp_out("par");
+    let seq = run_engine("1", &out1);
+    let par = run_engine("4", &out4);
+    assert!(seq.status.success(), "sequential run failed");
+    assert!(par.status.success(), "parallel run failed");
+
+    // Stdout (artifact text in request order) must match byte for byte.
+    assert_eq!(seq.stdout, par.stdout, "stdout differs across worker counts");
+    assert!(!seq.stdout.is_empty());
+
+    // The --out file sets must have the same names and the same bytes.
+    // BENCH_all.json legitimately differs (wall times), so compare it
+    // structurally and everything else exactly.
+    let files1 = read_dir_sorted(&out1);
+    let files4 = read_dir_sorted(&out4);
+    let names =
+        |fs: &[(String, Vec<u8>)]| fs.iter().map(|(n, _)| n.clone()).collect::<Vec<String>>();
+    assert_eq!(names(&files1), names(&files4));
+    assert_eq!(
+        names(&files1),
+        {
+            let mut expect: Vec<String> = ARTIFACTS.iter().map(|a| format!("{a}.txt")).collect();
+            expect.push("BENCH_all.json".into());
+            expect.sort();
+            expect
+        },
+        "every artifact written, plus the bench record"
+    );
+    for ((name, b1), (_, b4)) in files1.iter().zip(files4.iter()) {
+        if name == "BENCH_all.json" {
+            continue;
+        }
+        assert_eq!(b1, b4, "{name} differs across worker counts");
+    }
+
+    // Both bench records parse; each run built exactly two worlds (one
+    // Atlas, one CDN) no matter how many consumers needed them.
+    for (dir, workers) in [(&out1, 1usize), (&out4, 4)] {
+        let json = std::fs::read_to_string(dir.join("BENCH_all.json")).unwrap();
+        let perf = PerfRecord::parse(&json).expect("bench record parses");
+        assert_eq!(perf.worlds_built, 2, "workers={workers}");
+        assert_eq!(perf.workers, workers);
+        assert_eq!(perf.seed, 9);
+        assert_eq!(perf.artifacts.len(), ARTIFACTS.len());
+        assert!(perf.total_ms > 0.0);
+        assert!(perf.phases.iter().any(|p| p.name == "atlas-analysis"));
+    }
+
+    // --timings renders the per-stage table on stderr.
+    let stderr = String::from_utf8_lossy(&par.stderr);
+    assert!(stderr.contains("Engine timings"), "{stderr}");
+    assert!(stderr.contains("atlas-world"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&out1);
+    let _ = std::fs::remove_dir_all(&out4);
+}
+
+#[test]
+fn unknown_artifact_exits_with_usage_before_computing() {
+    let out = bin().args(["table1", "TYPO"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artifact \"TYPO\""), "{stderr}");
+    // Validation must reject the request before the engine starts: no
+    // progress banner, no partial artifact output.
+    assert!(!stderr.contains("engine:"), "{stderr}");
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn usage_error_paths_keep_exit_code_two() {
+    for args in [
+        vec!["--threads"],                  // flag missing its value
+        vec!["--threads", "x", "table1"],   // unparsable value
+        vec!["--nonsense", "table1"],       // unknown flag
+        vec![],                             // no artifacts at all
+    ] {
+        let out = bin().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}

@@ -28,7 +28,7 @@ use crate::world::World;
 use dynamips_routing::{AccessType, Asn, Rir};
 
 /// Which collection window a profile is being instantiated for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Era {
     /// The 2014-09 → 2020-05 RIPE Atlas window (longitudinal mix).
     Atlas,

@@ -349,7 +349,12 @@ fn fig7_registry_signatures() {
 fn cdn_preprocessing_accounting() {
     let c = cdn();
     assert!(c.raw_count > 0);
-    assert!(c.kept_count + c.discarded <= c.raw_count);
+    // Every raw tuple is either kept or attributed to exactly one discard
+    // class — nothing vanishes from the accounting.
+    assert_eq!(
+        c.raw_count,
+        c.kept_count + c.discarded_as_mismatch + c.discarded_unrouted
+    );
     let kept_frac = c.kept_count as f64 / c.raw_count as f64;
     assert!(kept_frac > 0.9 && kept_frac < 0.999, "{kept_frac}");
     assert!(c.mobile_p64_fraction > 0.5 && c.mobile_p64_fraction < 0.85);
