@@ -1,0 +1,27 @@
+#!/bin/sh
+# The full CI gate, in dependency order: cheap static checks first, the
+# invariant linter before the expensive build, tests last.
+#
+#   ./ci.sh
+#
+# Exits nonzero on the first failing stage. All stages run offline.
+set -eu
+
+say() { printf '\n== %s\n' "$*"; }
+
+say "cargo fmt --check"
+cargo fmt --all --check
+
+say "cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+say "dynamips-lint"
+cargo run --quiet -p dynamips-lint -- --format json
+
+say "cargo build --release"
+cargo build --release --quiet
+
+say "cargo test"
+cargo test --workspace -q
+
+say "ci: all stages passed"

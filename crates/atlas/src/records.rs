@@ -15,9 +15,9 @@
 //! dropped, and out-of-order records are re-sorted — each repair accounted
 //! for, in the spirit of the paper's Appendix-A.1 bookkeeping.
 
-// Ingest code must degrade, never abort: no unwraps on data-derived values
-// outside the test module.
-#![warn(clippy::unwrap_used)]
+// Ingest code must degrade, never abort: no unwraps or expects on
+// data-derived values (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::series::ProbeId;
 use dynamips_netsim::SimTime;
@@ -58,26 +58,25 @@ pub fn to_tsv(probe: ProbeId, v4: &[EchoV4], v6: &[EchoV6]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for r in v4 {
-        writeln!(
+        // Writing to a String cannot fail.
+        let _ = writeln!(
             out,
             "{}\t{}\t4\t{}\t{}",
             probe.0,
             r.time.hours(),
             r.client,
             r.src
-        )
-        .expect("string write");
+        );
     }
     for r in v6 {
-        writeln!(
+        let _ = writeln!(
             out,
             "{}\t{}\t6\t{}\t{}",
             probe.0,
             r.time.hours(),
             r.client,
             r.src
-        )
-        .expect("string write");
+        );
     }
     out
 }
@@ -194,36 +193,43 @@ fn parse_echo_line(lineno: usize, line: &str) -> Result<EchoLine, EchoParseError
         kind,
         message,
     };
-    let fields: Vec<&str> = line.split('\t').collect();
-    if fields.len() != 5 {
+    // Destructure the five TAB-separated fields without slice indexing:
+    // the shape of data-derived input is checked once, exhaustively, and
+    // the extra `next()` rejects six-field lines.
+    let mut fields = line.split('\t');
+    let (Some(f_probe), Some(f_hour), Some(f_af), Some(f_client), Some(f_src), None) = (
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+    ) else {
         return Err(err(
             EchoErrorKind::FieldCount,
-            format!("expected 5 fields, got {}", fields.len()),
+            format!("expected 5 fields, got {}", line.split('\t').count()),
         ));
-    }
-    let probe: u32 = fields[0].parse().map_err(|_| {
+    };
+    let probe: u32 = f_probe.parse().map_err(|_| {
         err(
             EchoErrorKind::BadProbeId,
-            format!("bad probe id {:?}", fields[0]),
+            format!("bad probe id {f_probe:?}"),
         )
     })?;
-    let hour: u64 = fields[1]
+    let hour: u64 = f_hour
         .parse()
-        .map_err(|_| err(EchoErrorKind::BadHour, format!("bad hour {:?}", fields[1])))?;
-    match fields[2] {
+        .map_err(|_| err(EchoErrorKind::BadHour, format!("bad hour {f_hour:?}")))?;
+    match f_af {
         "4" => {
-            let client: Ipv4Addr = fields[3].parse().map_err(|_| {
+            let client: Ipv4Addr = f_client.parse().map_err(|_| {
                 err(
                     EchoErrorKind::BadClientAddr,
-                    format!("bad IPv4 client {:?}", fields[3]),
+                    format!("bad IPv4 client {f_client:?}"),
                 )
             })?;
-            let src: Ipv4Addr = fields[4].parse().map_err(|_| {
-                err(
-                    EchoErrorKind::BadSrcAddr,
-                    format!("bad IPv4 src {:?}", fields[4]),
-                )
-            })?;
+            let src: Ipv4Addr = f_src
+                .parse()
+                .map_err(|_| err(EchoErrorKind::BadSrcAddr, format!("bad IPv4 src {f_src:?}")))?;
             Ok(EchoLine::V4(
                 probe,
                 EchoV4 {
@@ -234,18 +240,15 @@ fn parse_echo_line(lineno: usize, line: &str) -> Result<EchoLine, EchoParseError
             ))
         }
         "6" => {
-            let client: Ipv6Addr = fields[3].parse().map_err(|_| {
+            let client: Ipv6Addr = f_client.parse().map_err(|_| {
                 err(
                     EchoErrorKind::BadClientAddr,
-                    format!("bad IPv6 client {:?}", fields[3]),
+                    format!("bad IPv6 client {f_client:?}"),
                 )
             })?;
-            let src: Ipv6Addr = fields[4].parse().map_err(|_| {
-                err(
-                    EchoErrorKind::BadSrcAddr,
-                    format!("bad IPv6 src {:?}", fields[4]),
-                )
-            })?;
+            let src: Ipv6Addr = f_src
+                .parse()
+                .map_err(|_| err(EchoErrorKind::BadSrcAddr, format!("bad IPv6 src {f_src:?}")))?;
             Ok(EchoLine::V6(
                 probe,
                 EchoV6 {
@@ -373,7 +376,10 @@ pub fn from_tsv_lossy(text: &str) -> (Vec<ProbeRecords>, Vec<EchoParseError>) {
         if !seen.insert(fingerprint) {
             errors.push(soft_err(
                 EchoErrorKind::DuplicateRecord,
-                format!("duplicate record for probe {probe} at hour {}", time.hours()),
+                format!(
+                    "duplicate record for probe {probe} at hour {}",
+                    time.hours()
+                ),
             ));
             continue;
         }
@@ -410,7 +416,6 @@ pub fn from_tsv_lossy(text: &str) -> (Vec<ProbeRecords>, Vec<EchoParseError>) {
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -521,7 +526,8 @@ mod tests {
     fn lossy_quarantines_bad_lines_and_keeps_the_rest() {
         let (v4, v6) = sample();
         let good = to_tsv(ProbeId(7), &v4, &v6);
-        let text = format!("mojibake \u{fffd}\u{fffd}\n{good}9\tnot-a-number\t4\t1.2.3.4\t10.0.0.1\n");
+        let text =
+            format!("mojibake \u{fffd}\u{fffd}\n{good}9\tnot-a-number\t4\t1.2.3.4\t10.0.0.1\n");
         let (lossy, errors) = from_tsv_lossy(&text);
         assert_eq!(lossy, from_tsv(&good).unwrap());
         assert_eq!(errors.len(), 2);

@@ -111,14 +111,15 @@ pub fn series_from_timeline<R: Rng + ?Sized>(
     for seg in &timeline.v6 {
         let start = seg.start.max(lo);
         let end = seg.end.min(hi);
-        let addr = seg
-            .lan64
-            .with_iid(timeline.device_iid)
-            .expect("lan64 is a /64");
+        // lan64 is a /64 by construction; a malformed segment yields no
+        // observations rather than a panic.
+        let Ok(addr) = seg.lan64.with_iid(timeline.device_iid) else {
+            continue;
+        };
         let src = if opts.mismatched_v6_src {
             seg.lan64
                 .with_iid(timeline.device_iid ^ 0xff)
-                .expect("lan64 is a /64")
+                .unwrap_or(addr)
         } else {
             addr
         };

@@ -8,6 +8,7 @@
 //! * `ablations` — the design-choice ablations listed in DESIGN.md.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 use dynamips_experiments::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};
 

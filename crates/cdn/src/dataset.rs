@@ -1,8 +1,8 @@
 //! The aggregated association dataset.
 
-// Ingest code must degrade, never abort: no unwraps on data-derived values
-// outside the test module.
-#![warn(clippy::unwrap_used)]
+// Ingest code must degrade, never abort: no unwraps or expects on
+// data-derived values (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 use dynamips_netaddr::{Ipv4Prefix, Ipv6Prefix};
 use dynamips_routing::Asn;
@@ -80,7 +80,8 @@ pub fn to_tsv(ds: &AssociationDataset) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(ds.tuples.len() * 48);
     for t in &ds.tuples {
-        writeln!(
+        // Writing to a String cannot fail.
+        let _ = writeln!(
             out,
             "{}\t{}\t{}\t{}\t{}",
             t.v24.network(),
@@ -88,8 +89,7 @@ pub fn to_tsv(ds: &AssociationDataset) -> String {
             t.day,
             t.asn.0,
             u8::from(t.mobile)
-        )
-        .expect("string write");
+        );
     }
     out
 }
@@ -181,36 +181,43 @@ impl std::error::Error for AssociationParseError {
 }
 
 /// Parse one non-blank, non-comment line.
-fn parse_association_line(
-    lineno: usize,
-    line: &str,
-) -> Result<Association, AssociationParseError> {
+fn parse_association_line(lineno: usize, line: &str) -> Result<Association, AssociationParseError> {
     let err = |kind: AssociationErrorKind, message: String| AssociationParseError {
         line: lineno,
         line_text: truncate_line_text(line),
         kind,
         message,
     };
-    let f: Vec<&str> = line.split('\t').collect();
-    if f.len() != 5 {
+    // Destructure the five TAB-separated fields without slice indexing:
+    // the shape of data-derived input is checked once, exhaustively, and
+    // the extra `next()` rejects six-field lines.
+    let mut fields = line.split('\t');
+    let (Some(f_v24), Some(f_p64), Some(f_day), Some(f_asn), Some(f_mobile), None) = (
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+        fields.next(),
+    ) else {
         return Err(err(
             AssociationErrorKind::FieldCount,
-            format!("expected 5 fields, got {}", f.len()),
+            format!("expected 5 fields, got {}", line.split('\t').count()),
         ));
-    }
-    let v24: Ipv4Prefix = format!("{}/24", f[0])
+    };
+    let v24: Ipv4Prefix = format!("{f_v24}/24")
         .parse()
         .map_err(|e| err(AssociationErrorKind::BadV24, format!("bad /24: {e}")))?;
-    let p64: Ipv6Prefix = format!("{}/64", f[1])
+    let p64: Ipv6Prefix = format!("{f_p64}/64")
         .parse()
         .map_err(|e| err(AssociationErrorKind::BadP64, format!("bad /64: {e}")))?;
-    let day: u32 = f[2]
+    let day: u32 = f_day
         .parse()
-        .map_err(|_| err(AssociationErrorKind::BadDay, format!("bad day {:?}", f[2])))?;
-    let asn: u32 = f[3]
+        .map_err(|_| err(AssociationErrorKind::BadDay, format!("bad day {f_day:?}")))?;
+    let asn: u32 = f_asn
         .parse()
-        .map_err(|_| err(AssociationErrorKind::BadAsn, format!("bad asn {:?}", f[3])))?;
-    let mobile = match f[4] {
+        .map_err(|_| err(AssociationErrorKind::BadAsn, format!("bad asn {f_asn:?}")))?;
+    let mobile = match f_mobile {
         "0" => false,
         "1" => true,
         other => {
@@ -289,7 +296,6 @@ pub fn from_tsv_lossy(text: &str) -> (AssociationDataset, Vec<AssociationParseEr
 }
 
 #[cfg(test)]
-#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

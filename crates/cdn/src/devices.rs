@@ -112,9 +112,14 @@ pub fn observe_devices(
                     privacy_iid(&mut r)
                 }
             };
+            // lan64 is a /64 by construction; drop the observation rather
+            // than panic on a malformed segment.
+            let Ok(address) = seg.lan64.with_iid(iid) else {
+                continue;
+            };
             out.push(DeviceObservation {
                 day,
-                address: seg.lan64.with_iid(iid).expect("lan64 is a /64"),
+                address,
                 subscriber: timeline.id.index,
             });
         }
@@ -206,9 +211,8 @@ mod tests {
         };
         let daily = observe_devices(&timeline(3), window(), &mk(24), 13);
         let weekly = observe_devices(&timeline(3), window(), &mk(24 * 7), 13);
-        let count = |obs: &[DeviceObservation]| {
-            obs.iter().map(|o| o.address).collect::<HashSet<_>>().len()
-        };
+        let count =
+            |obs: &[DeviceObservation]| obs.iter().map(|o| o.address).collect::<HashSet<_>>().len();
         assert!(count(&daily) > 3 * count(&weekly));
     }
 

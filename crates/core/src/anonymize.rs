@@ -37,7 +37,9 @@ pub fn audit_truncation(observations: &[(u32, Ipv6Prefix)], len: u8) -> Option<T
     }
     let mut subs_per_bucket: HashMap<u128, HashSet<u32>> = HashMap::new();
     for (sub, p64) in observations {
-        let bucket = p64.supernet(len.min(p64.len())).expect("len <= 64");
+        // supernet with a clamped length cannot shrink past 0; fall back
+        // to the prefix itself rather than panic.
+        let bucket = p64.supernet(len.min(p64.len())).unwrap_or(*p64);
         subs_per_bucket
             .entry(bucket.bits())
             .or_default()

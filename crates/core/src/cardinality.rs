@@ -45,10 +45,7 @@ impl DegreeStats {
     /// log bins; returns the geometric bin center.
     pub fn weighted_peak(&self, decades: u32, bins_per_decade: u32) -> Option<f64> {
         let (edges, dens) = self.weighted_density(decades, bins_per_decade);
-        let (idx, &max) = dens
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        let (idx, &max) = dens.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         if max <= 0.0 {
             return None;
         }

@@ -83,15 +83,16 @@ impl DegradationReport {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        writeln!(out, "{:<14} {:<22} {:>10}", "stage", "class", "count").expect("string write");
+        // Writing to a String cannot fail.
+        let _ = writeln!(out, "{:<14} {:<22} {:>10}", "stage", "class", "count");
         if self.counts.is_empty() {
-            writeln!(out, "(clean: no records quarantined or repaired)").expect("string write");
+            let _ = writeln!(out, "(clean: no records quarantined or repaired)");
             return out;
         }
         for (stage, class, n) in self.entries() {
-            writeln!(out, "{stage:<14} {class:<22} {n:>10}").expect("string write");
+            let _ = writeln!(out, "{stage:<14} {class:<22} {n:>10}");
         }
-        writeln!(out, "{:<14} {:<22} {:>10}", "total", "", self.total()).expect("string write");
+        let _ = writeln!(out, "{:<14} {:<22} {:>10}", "total", "", self.total());
         out
     }
 }

@@ -43,7 +43,7 @@ impl ScanPlan {
         let subscriber_len = subscriber_len.max(pool_len);
         let mut pools: Vec<Ipv6Prefix> = seeds
             .iter()
-            .map(|s| s.supernet(pool_len).expect("pool_len <= 64"))
+            .map(|s| s.supernet(pool_len).unwrap_or(*s))
             .collect::<HashSet<_>>()
             .into_iter()
             .collect();
@@ -70,10 +70,7 @@ impl ScanPlan {
         let per_pool: Vec<u64> = self
             .pools
             .iter()
-            .map(|p| {
-                p.num_subprefixes(self.subscriber_len)
-                    .expect("subscriber_len >= pool_len")
-            })
+            .map(|p| p.num_subprefixes(self.subscriber_len).unwrap_or(0))
             .collect();
         let max_count = per_pool.iter().copied().max().unwrap_or(0);
         'outer: for i in 0..max_count {
@@ -84,10 +81,15 @@ impl ScanPlan {
                 if out.len() >= limit {
                     break 'outer;
                 }
-                let delegated = pool
-                    .nth_subprefix(self.subscriber_len, i)
-                    .expect("index in range");
-                out.push(delegated.nth_subprefix(64, 0).expect("<= 64"));
+                // Both lookups are in range by construction of per_pool;
+                // skip the slot rather than panic if the invariant slips.
+                let Ok(delegated) = pool.nth_subprefix(self.subscriber_len, i) else {
+                    continue;
+                };
+                let Ok(target) = delegated.nth_subprefix(64, 0) else {
+                    continue;
+                };
+                out.push(target);
             }
         }
         out

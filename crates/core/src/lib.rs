@@ -44,6 +44,9 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+// Panic-freedom ratchet: shipping code degrades instead of unwrapping;
+// tests are exempt via clippy.toml (allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod anonymize;
 pub mod association;

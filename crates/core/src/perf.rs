@@ -85,7 +85,9 @@ impl PerfRecord {
             return Err(format!("unknown schema {schema:?}"));
         }
         Ok(PerfRecord {
-            seed: scalar(json, "seed")?.parse().map_err(|e| format!("seed: {e}"))?,
+            seed: scalar(json, "seed")?
+                .parse()
+                .map_err(|e| format!("seed: {e}"))?,
             atlas_scale: scalar(json, "atlas_scale")?
                 .parse()
                 .map_err(|e| format!("atlas_scale: {e}"))?,
@@ -112,9 +114,7 @@ fn scalar<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
     let tag = format!("\"{key}\":");
     let start = json.find(&tag).ok_or_else(|| format!("missing {key:?}"))? + tag.len();
     let rest = &json[start..];
-    let end = rest
-        .find(|c| c == ',' || c == '\n' || c == '}')
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
     Ok(rest[..end].trim())
 }
 
@@ -123,7 +123,9 @@ fn entries(json: &str, key: &str) -> Result<Vec<PerfEntry>, String> {
     let tag = format!("\"{key}\": [");
     let start = json.find(&tag).ok_or_else(|| format!("missing {key:?}"))? + tag.len();
     let body = &json[start..];
-    let end = body.find(']').ok_or_else(|| format!("unterminated {key:?}"))?;
+    let end = body
+        .find(']')
+        .ok_or_else(|| format!("unterminated {key:?}"))?;
     let mut out = Vec::new();
     for obj in body[..end].split('{').skip(1) {
         let name = scalar(obj, "name")?.trim_end_matches('}').trim();

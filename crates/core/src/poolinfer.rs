@@ -26,7 +26,7 @@ fn unique_at(history: &ProbeHistory, len: u8) -> usize {
     history
         .v6
         .iter()
-        .map(|s| s.value.supernet(len).expect("len <= 64").bits())
+        .map(|s| s.value.supernet(len).unwrap_or(s.value).bits())
         .collect::<HashSet<u128>>()
         .len()
 }

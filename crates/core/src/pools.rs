@@ -31,7 +31,7 @@ pub fn unique_prefixes(history: &ProbeHistory, routing: &RoutingTable) -> Unique
         let set: HashSet<u128> = history
             .v6
             .iter()
-            .map(|s| s.value.supernet(*len).expect("64 >= tracked length").bits())
+            .map(|s| s.value.supernet(*len).unwrap_or(s.value).bits())
             .collect();
         counts[i] = set.len();
     }
@@ -114,7 +114,7 @@ impl PoolAccumulator {
         if v.is_empty() {
             return 0.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        v.sort_by(f64::total_cmp);
         crate::stats::quantile_sorted(&v, q)
     }
 }

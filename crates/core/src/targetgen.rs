@@ -82,9 +82,7 @@ impl NibbleModel {
         partials
             .into_iter()
             .take(limit)
-            .map(|(bits, _)| {
-                Ipv6Prefix::from_bits((bits as u128) << 64, 64).expect("canonical /64")
-            })
+            .filter_map(|(bits, _)| Ipv6Prefix::from_bits((bits as u128) << 64, 64).ok())
             .collect()
     }
 }
@@ -113,7 +111,7 @@ pub fn sixgen_targets(seeds: &[Ipv6Prefix], min_cluster_len: u8, limit: usize) -
             Some(c) => {
                 let cpl = dynamips_netaddr::common_prefix_len_v6(&c.cover, seed);
                 if cpl >= min_cluster_len {
-                    c.cover = c.cover.supernet(cpl).expect("cpl <= cover len");
+                    c.cover = c.cover.supernet(cpl).unwrap_or(c.cover);
                     c.seeds += 1;
                 } else {
                     clusters.push(Cluster {
@@ -145,7 +143,11 @@ pub fn sixgen_targets(seeds: &[Ipv6Prefix], min_cluster_len: u8, limit: usize) -
         let count = c.cover.num_subprefixes(64).unwrap_or(u64::MAX);
         let budget = (limit - out.len()) as u64;
         for i in 0..count.min(budget) {
-            let t = c.cover.nth_subprefix(64, i).expect("within cover");
+            // i < num_subprefixes(64) by the loop bound; skip rather than
+            // panic if the invariant slips.
+            let Ok(t) = c.cover.nth_subprefix(64, i) else {
+                continue;
+            };
             if emitted.insert(t.bits()) {
                 out.push(t);
             }

@@ -88,7 +88,16 @@ pub fn evaluate(timeline: &SubscriberTimeline, key: TrackingKey) -> Trackability
                 run = 0;
             }
             _ => {
-                let k = seg_key.expect("non-privacy keys computed above");
+                // Every non-privacy arm of the `seg_key` match above
+                // yields Some; treat a miss as an untrackable segment.
+                let Some(k) = seg_key else {
+                    prev_key = None;
+                    if run > 0 {
+                        tracks.push(run);
+                    }
+                    run = 0;
+                    continue;
+                };
                 if prev_key == Some(k) {
                     run += seg_hours;
                 } else {
@@ -128,7 +137,7 @@ pub fn eui64_relocatable_within(timeline: &SubscriberTimeline, pool_len: u8) -> 
     let mut pools = timeline
         .v6
         .iter()
-        .map(|s| s.lan64.supernet(pool_len.min(64)).expect("len <= 64"));
+        .map(|s| s.lan64.supernet(pool_len.min(64)).unwrap_or(s.lan64));
     match pools.next() {
         None => false,
         Some(first) => pools.all(|p| p == first),

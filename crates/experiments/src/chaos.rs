@@ -174,7 +174,11 @@ fn run_one(b: &Baseline, corruption_seed: u64, rate: f64, deg: &mut DegradationR
     let day_hi = day_lo + b.cdn_window.days() as u32;
     let before = ds.tuples.len();
     ds.tuples.retain(|t| (day_lo..day_hi).contains(&t.day));
-    deg.record_many("ingest-cdn", "out-of-window", (before - ds.tuples.len()) as u64);
+    deg.record_many(
+        "ingest-cdn",
+        "out-of-window",
+        (before - ds.tuples.len()) as u64,
+    );
     let cdn_recovered = ds.len() as u64;
     let c = CdnAnalysis::compute_from_dataset(&b.cdn_world, &ds, deg);
 
@@ -226,7 +230,7 @@ fn run_rounds(b: &Baseline, jobs: &[(f64, u64)]) -> Vec<(Round, DegradationRepor
                 })
                 .collect();
             for h in handles {
-                results.push(h.join().expect("a chaos round panicked"));
+                results.push(crate::resume_worker(h.join()));
             }
         });
     }
@@ -243,8 +247,7 @@ pub fn run(cfg: &ExperimentConfig, opts: &ChaosOptions) -> ChaosOutcome {
         .iter()
         .enumerate()
         .flat_map(|(ri, &rate)| {
-            (0..seeds)
-                .map(move |k| (rate, seed_base.wrapping_add(((ri as u64) << 32) | k as u64)))
+            (0..seeds).map(move |k| (rate, seed_base.wrapping_add(((ri as u64) << 32) | k as u64)))
         })
         .collect();
     let rounds = run_rounds(&b, &jobs);

@@ -51,7 +51,12 @@ pub fn run_checks_atlas_only(a: &AtlasAnalysis) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
 
     // --- Figure 1 ---
-    for (name, period) in [("DTAG", 24u64), ("Orange", 168), ("BT", 336), ("Proximus", 36)] {
+    for (name, period) in [
+        ("DTAG", 24u64),
+        ("Orange", 168),
+        ("BT", 336),
+        ("Proximus", 36),
+    ] {
         let detected = a
             .by_name(name)
             .and_then(|(_, s)| detect_period(&s.v4_durations_nds, 0.06, 0.4))
@@ -282,7 +287,11 @@ mod tests {
             .filter(|c| !c.pass)
             .map(|c| format!("{}: {} ({})", c.artifact, c.shape, c.measured))
             .collect();
-        assert!(failures.is_empty(), "failed shapes:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "failed shapes:\n{}",
+            failures.join("\n")
+        );
         let text = render(&a, &c);
         assert!(text.contains("PASS"));
     }

@@ -310,15 +310,17 @@ impl AtlasAnalysis {
                 }
                 let mut i = 0usize;
                 let mut sink = |series: ProbeSeries| {
-                    senders[i % workers].send(series).expect("shard worker alive");
+                    // A send fails only if the shard worker already died;
+                    // its panic is re-raised at join below, so the lost
+                    // series is moot.
+                    let _ = senders[i % workers].send(series);
                     i += 1;
                 };
                 for_each(&mut sink);
-                drop(sink);
                 drop(senders); // close the queues so workers drain and exit
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    .map(|h| crate::resume_worker(h.join()))
                     .collect::<Vec<_>>()
             });
             let mut merged = ShardAccumulator::default();
@@ -529,8 +531,20 @@ mod tests {
             assert_eq!(asn1, asn3);
             assert_eq!(s1.name, s3.name);
             assert_eq!(
-                (s1.probes, s1.ds_probes, s1.v4_changes_all, s1.v4_changes_ds, s1.v6_changes),
-                (s3.probes, s3.ds_probes, s3.v4_changes_all, s3.v4_changes_ds, s3.v6_changes),
+                (
+                    s1.probes,
+                    s1.ds_probes,
+                    s1.v4_changes_all,
+                    s1.v4_changes_ds,
+                    s1.v6_changes
+                ),
+                (
+                    s3.probes,
+                    s3.ds_probes,
+                    s3.v4_changes_all,
+                    s3.v4_changes_ds,
+                    s3.v6_changes
+                ),
                 "counters for {}",
                 s1.name
             );

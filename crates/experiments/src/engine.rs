@@ -94,7 +94,12 @@ impl WorldCache {
         // outside it so concurrent requests for *different* worlds build
         // in parallel, while OnceLock serializes requests for the same one.
         let slot = {
-            let mut map = self.worlds.lock().expect("world cache poisoned");
+            // A poisoned map only means another thread panicked mid-insert;
+            // the entry API keeps the map structurally sound, so recover.
+            let mut map = self
+                .worlds
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         slot.get_or_init(|| {
@@ -166,17 +171,25 @@ struct EngineContext<'a> {
     atlas_world: Option<Arc<World>>,
 }
 
+// Phase A computes every product the artifacts requested in phase B read
+// (see the needs_* derivation in `run`); a miss here is an engine wiring
+// bug worth crashing on, not a data-dependent condition to degrade.
+#[allow(clippy::expect_used)]
 impl EngineContext<'_> {
     fn atlas(&self) -> &AtlasAnalysis {
+        // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
         self.atlas.as_ref().expect("atlas analysis computed")
     }
     fn cdn(&self) -> &CdnAnalysis {
+        // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
         self.cdn.as_ref().expect("cdn analysis computed")
     }
     fn histories(&self) -> &CleanHistories {
+        // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
         self.histories.as_ref().expect("histories collected")
     }
     fn world(&self) -> &World {
+        // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
         self.atlas_world.as_deref().expect("atlas world built")
     }
 }
@@ -208,7 +221,9 @@ fn render_one(name: &str, ctx: &EngineContext<'_>) -> (String, bool) {
         "counting" => extended::counting_report_with(ctx.world(), ctx.cfg.seed),
         "sanitizer" => extended::sanitizer_report_with(ctx.world(), ctx.cfg.atlas_scale),
         "seeds" => extended::seed_robustness(ctx.cfg),
-        other => unreachable!("unvalidated artifact {other:?}"),
+        // `wanted` is prevalidated with is_known_artifact; if a name slips
+        // through anyway, emit a failing artifact instead of panicking.
+        other => return (format!("unknown artifact {other:?}\n"), false),
     };
     (text, true)
 }
@@ -231,9 +246,14 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
     let needs_cdn = wanted
         .iter()
         .any(|w| CDN_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
-    let needs_histories = wanted.iter().any(|w| HISTORY_ARTIFACTS.contains(&w.as_str()));
-    let needs_atlas_world =
-        needs_atlas || needs_histories || wanted.iter().any(|w| EXTENDED_ARTIFACTS.contains(&w.as_str()));
+    let needs_histories = wanted
+        .iter()
+        .any(|w| HISTORY_ARTIFACTS.contains(&w.as_str()));
+    let needs_atlas_world = needs_atlas
+        || needs_histories
+        || wanted
+            .iter()
+            .any(|w| EXTENDED_ARTIFACTS.contains(&w.as_str()));
 
     // --- Phase A: shared products.
     //
@@ -261,8 +281,9 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
     }
 
     if workers <= 1 {
-        if needs_atlas {
-            let (w, _) = atlas_world_handle.as_ref().expect("atlas world prefetched");
+        // needs_atlas / needs_histories each imply needs_atlas_world, so
+        // the prefetch handle is always populated on these paths.
+        if let (true, Some((w, _))) = (needs_atlas, atlas_world_handle.as_ref()) {
             let t = Instant::now();
             let mut deg = DegradationReport::new();
             atlas_analysis = Some(AtlasAnalysis::compute_for_world(w, 1, &mut deg));
@@ -286,8 +307,7 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
                 ms: ms(t),
             });
         }
-        if needs_histories {
-            let (w, _) = atlas_world_handle.as_ref().expect("atlas world prefetched");
+        if let (true, Some((w, _))) = (needs_histories, atlas_world_handle.as_ref()) {
             let t = Instant::now();
             histories = Some(extended::clean_histories(w, Window::atlas_paper()));
             phases.push(PerfEntry {
@@ -299,8 +319,10 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
         let (a, c, h) = thread::scope(|scope| {
             let cache = &cache;
             let atlas_world_ref = atlas_world_handle.as_ref().map(|(w, _)| w);
-            let ja = needs_atlas.then(|| {
-                let w = atlas_world_ref.expect("atlas world prefetched").clone();
+            // needs_atlas / needs_histories each imply needs_atlas_world,
+            // so `atlas_world_ref` is always populated on these paths.
+            let ja = needs_atlas.then_some(atlas_world_ref).flatten().map(|w| {
+                let w = w.clone();
                 scope.spawn(move || {
                     let t = Instant::now();
                     let mut deg = DegradationReport::new();
@@ -319,18 +341,21 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
                     (c, world_ms, ms(t))
                 })
             });
-            let jh = needs_histories.then(|| {
-                let w = atlas_world_ref.expect("atlas world prefetched").clone();
-                scope.spawn(move || {
-                    let t = Instant::now();
-                    let h = extended::clean_histories(&w, Window::atlas_paper());
-                    (h, ms(t))
-                })
-            });
+            let jh = needs_histories
+                .then_some(atlas_world_ref)
+                .flatten()
+                .map(|w| {
+                    let w = w.clone();
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let h = extended::clean_histories(&w, Window::atlas_paper());
+                        (h, ms(t))
+                    })
+                });
             (
-                ja.map(|j| j.join().expect("atlas analysis thread")),
-                jc.map(|j| j.join().expect("cdn analysis thread")),
-                jh.map(|j| j.join().expect("histories thread")),
+                ja.map(|j| crate::resume_worker(j.join())),
+                jc.map(|j| crate::resume_worker(j.join())),
+                jh.map(|j| crate::resume_worker(j.join())),
             )
         });
         if let Some((analysis, t)) = a {
@@ -377,9 +402,9 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
     let render = |i: usize| {
         let t = Instant::now();
         let (text, ok) = render_one(&wanted[i], &ctx);
-        slots[i]
-            .set((text, ok, ms(t)))
-            .unwrap_or_else(|_| panic!("artifact slot {i} rendered twice"));
+        // The dealing index hands each slot to exactly one worker; if a
+        // slot were somehow rendered twice the first result wins.
+        let _ = slots[i].set((text, ok, ms(t)));
     };
     if workers <= 1 {
         (0..wanted.len()).for_each(render);
@@ -401,7 +426,11 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
     let mut artifacts = Vec::with_capacity(wanted.len());
     let mut artifact_times = Vec::with_capacity(wanted.len());
     for (name, slot) in wanted.iter().zip(slots) {
-        let (text, ok, t) = slot.into_inner().expect("artifact rendered");
+        // Every index below wanted.len() was dealt to a worker; an empty
+        // slot would be an engine bug — surface it as a failed artifact.
+        let (text, ok, t) = slot
+            .into_inner()
+            .unwrap_or_else(|| ("artifact not rendered (engine bug)\n".into(), false, 0.0));
         artifact_times.push(PerfEntry {
             name: name.clone(),
             ms: t,
@@ -494,7 +523,11 @@ mod tests {
         assert_eq!(seq.artifacts.len(), par.artifacts.len());
         for (s, p) in seq.artifacts.iter().zip(par.artifacts.iter()) {
             assert_eq!(s.name, p.name, "request order preserved");
-            assert_eq!(s.text, p.text, "artifact {} differs across worker counts", s.name);
+            assert_eq!(
+                s.text, p.text,
+                "artifact {} differs across worker counts",
+                s.name
+            );
             assert_eq!(s.ok, p.ok);
         }
         // Atlas world shared by analysis + histories + tracking; CDN world

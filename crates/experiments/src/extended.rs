@@ -269,11 +269,14 @@ pub fn scan_plans_with(world: &World, by_as: &CleanHistories) -> String {
             }
         };
         let (miss_pool, miss_bits) = (pct(miss_pool), pct(miss_bits));
-        let bgp = isp
+        // Focus ASes all announce v6, but render a dash rather than panic
+        // if one ever lacks a plan or aggregates.
+        let reduction = isp
             .v6_plan
             .as_ref()
-            .map(|p| p.aggregates[0])
-            .expect("focus ASes have v6");
+            .and_then(|p| p.aggregates.first())
+            .map(|bgp| format!("{:.0}x", plan.reduction_vs(bgp)))
+            .unwrap_or_else(|| "-".into());
         t.row(&[
             isp.name.clone(),
             format!("/{}", plan.pool_len),
@@ -282,7 +285,7 @@ pub fn scan_plans_with(world: &World, by_as: &CleanHistories) -> String {
             format!("{:.0}%", 100.0 * rate),
             miss_pool,
             miss_bits,
-            format!("{:.0}x", plan.reduction_vs(&bgp)),
+            reduction,
         ]);
     }
     format!(

@@ -19,6 +19,9 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+// Panic-freedom ratchet: shipping code degrades instead of unwrapping;
+// tests are exempt via clippy.toml (allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod atlas_exps;
 pub mod cdn_exps;
@@ -30,3 +33,11 @@ pub mod engine;
 pub mod extended;
 
 pub use context::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};
+
+/// Unwrap a joined worker's result, re-raising the worker's own panic in
+/// the calling thread instead of panicking afresh with a second message.
+/// This keeps the harness code lexically panic-free while still refusing
+/// to swallow a worker crash.
+pub(crate) fn resume_worker<T>(r: std::thread::Result<T>) -> T {
+    r.unwrap_or_else(|e| std::panic::resume_unwind(e))
+}

@@ -6,6 +6,7 @@
 //! dynamips table1 fig5    # a subset
 //! dynamips --threads 8 --timings all   # parallel engine + wall-time table
 //! dynamips chaos --rate 0.01 --seeds 5   # adversarial-ingest sweep
+//! dynamips lint [--format json]          # workspace invariant checker
 //! ```
 //!
 //! Artifact names and `--out` writability are validated *before* any
@@ -32,6 +33,9 @@ fn usage() -> ! {
          \x20          (corrupt the TSV dumps, re-ingest through the lossy\n\
          \x20          loaders, verify the paper shapes survive; defaults to\n\
          \x20          the reference scale: seed 2020, scales 0.2/0.15)\n\
+         lint:      lint [--format text|json]\n\
+         \x20          (check the workspace's determinism, panic-freedom,\n\
+         \x20          and offline-build invariants against lint.toml)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
          \x20          --threads N engine worker threads (default: all cores,\n\
          \x20          or DYNAMIPS_THREADS); --timings prints the per-stage\n\
@@ -58,21 +62,41 @@ fn main() {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut timings = false;
+    let mut lint_format: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_dir = Some(args.next().map(Into::into).unwrap_or_else(|| usage())),
-            "--seed" => seed = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())),
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--atlas-scale" => {
-                atlas_scale = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                atlas_scale = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--cdn-scale" => {
-                cdn_scale = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                cdn_scale = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--threads" => {
-                threads = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--timings" => timings = true,
+            "--format" => lint_format = Some(args.next().unwrap_or_else(|| usage())),
             "--rate" => chaos_rates.push(
                 args.next()
                     .and_then(|v| v.parse().ok())
@@ -80,11 +104,16 @@ fn main() {
                     .unwrap_or_else(|| usage()),
             ),
             "--seeds" => {
-                chaos_opts.seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                chaos_opts.seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--fail-threshold" => {
-                chaos_opts.fail_threshold =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                chaos_opts.fail_threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -96,6 +125,51 @@ fn main() {
     }
 
     let mut cfg = ExperimentConfig::default();
+
+    // The lint subcommand takes over the whole invocation: it reads
+    // source, not simulation, and mirrors the standalone `dynamips-lint`
+    // binary (and its 0/1/2 exit contract).
+    if wanted[0] == "lint" {
+        if wanted.len() != 1 {
+            usage();
+        }
+        let format = match lint_format.as_deref() {
+            None | Some("text") => dynamips_lint::Format::Text,
+            Some("json") => dynamips_lint::Format::Json,
+            Some(_) => usage(),
+        };
+        let Some(root) = std::env::current_dir()
+            .ok()
+            .and_then(|cwd| dynamips_lint::find_root(&cwd))
+        else {
+            eprintln!("dynamips lint: no lint.toml found above the current directory");
+            std::process::exit(EXIT_USAGE);
+        };
+        let config_text = match std::fs::read_to_string(root.join("lint.toml")) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dynamips lint: cannot read lint.toml: {e}");
+                std::process::exit(EXIT_USAGE);
+            }
+        };
+        match dynamips_lint::run(&root, &config_text, format) {
+            Ok(outcome) => {
+                print!("{}", outcome.report);
+                if outcome.denies > 0 {
+                    std::process::exit(EXIT_RUN_FAILURE);
+                }
+            }
+            Err(e) => {
+                eprintln!("dynamips lint: {e}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+        return;
+    }
+    if lint_format.is_some() {
+        // --format only means something to `lint`.
+        usage();
+    }
 
     // The chaos sweep takes over the whole invocation.
     if wanted[0] == "chaos" {

@@ -20,7 +20,13 @@ fn bin() -> Command {
 /// test. `check`/`claims` are excluded: their predicates are calibrated
 /// to the reference scale and would fail here by design.
 const ARTIFACTS: [&str; 7] = [
-    "table1", "fig8", "fig2", "fig3", "evolution", "tracking", "sanitizer",
+    "table1",
+    "fig8",
+    "fig2",
+    "fig3",
+    "evolution",
+    "tracking",
+    "sanitizer",
 ];
 
 fn run_engine(threads: &str, out: &Path) -> Output {
@@ -73,7 +79,10 @@ fn parallel_run_is_byte_identical_to_single_thread() {
     assert!(par.status.success(), "parallel run failed");
 
     // Stdout (artifact text in request order) must match byte for byte.
-    assert_eq!(seq.stdout, par.stdout, "stdout differs across worker counts");
+    assert_eq!(
+        seq.stdout, par.stdout,
+        "stdout differs across worker counts"
+    );
     assert!(!seq.stdout.is_empty());
 
     // The --out file sets must have the same names and the same bytes.
@@ -125,7 +134,10 @@ fn parallel_run_is_byte_identical_to_single_thread() {
 
 #[test]
 fn unknown_artifact_exits_with_usage_before_computing() {
-    let out = bin().args(["table1", "TYPO"]).output().expect("binary runs");
+    let out = bin()
+        .args(["table1", "TYPO"])
+        .output()
+        .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown artifact \"TYPO\""), "{stderr}");
@@ -138,10 +150,10 @@ fn unknown_artifact_exits_with_usage_before_computing() {
 #[test]
 fn usage_error_paths_keep_exit_code_two() {
     for args in [
-        vec!["--threads"],                  // flag missing its value
-        vec!["--threads", "x", "table1"],   // unparsable value
-        vec!["--nonsense", "table1"],       // unknown flag
-        vec![],                             // no artifacts at all
+        vec!["--threads"],                // flag missing its value
+        vec!["--threads", "x", "table1"], // unparsable value
+        vec!["--nonsense", "table1"],     // unknown flag
+        vec![],                           // no artifacts at all
     ] {
         let out = bin().args(&args).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "args {args:?}");

@@ -1,0 +1,237 @@
+//! `lint.toml` — the checked-in declaration of which paths carry which
+//! invariants.
+//!
+//! The build is offline, so this module parses the needed TOML subset
+//! itself: `[section]` headers, `key = "string"`, and
+//! `key = ["a", "b", …]` arrays (single- or multi-line). Anything else in
+//! the file is a configuration error, reported with a line number — the
+//! config is part of the checked invariant surface and must not rot
+//! silently.
+
+use std::collections::BTreeMap;
+
+/// How hard a rule's findings hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled: findings are dropped.
+    Allow,
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Reported and fails the run (exit 1).
+    Deny,
+}
+
+impl Severity {
+    /// Parse a severity keyword.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "allow" => Some(Severity::Allow),
+            "warn" => Some(Severity::Warn),
+            "deny" => Some(Severity::Deny),
+            _ => None,
+        }
+    }
+
+    /// The keyword form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (relative, `/`-separated) excluded from the walk.
+    pub skip: Vec<String>,
+    /// Modules that render artifact text: sorted-iteration territory.
+    pub render_paths: Vec<String>,
+    /// Files allowed to read the wall clock (the timing layer itself).
+    pub perf_exempt: Vec<String>,
+    /// Path prefixes under the panic-freedom contract.
+    pub panic_free: Vec<String>,
+    /// Ingest parsers: panic-freedom plus the slice-indexing ban.
+    pub ingest_paths: Vec<String>,
+    /// Files allowed to call `process::exit` / own exit-code literals.
+    pub exit_allowed: Vec<String>,
+    /// Files allowed to print (binary entry points).
+    pub print_allowed: Vec<String>,
+    /// Per-rule severity overrides.
+    pub severity: BTreeMap<String, Severity>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text. Errors carry a 1-based line number.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line arrays: keep consuming lines until the `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if value.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unterminated array for {key:?}"
+                    ));
+                }
+            }
+            cfg.apply(&section, key, &value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    fn apply(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &str,
+        lineno: usize,
+    ) -> Result<(), String> {
+        if let Some(rule) = section.strip_prefix("rules.") {
+            return match key {
+                "severity" => {
+                    let word = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: severity must be a string"))?;
+                    let sev = Severity::parse(&word).ok_or_else(|| {
+                        format!("lint.toml:{lineno}: unknown severity {word:?} (allow|warn|deny)")
+                    })?;
+                    self.severity.insert(rule.to_string(), sev);
+                    Ok(())
+                }
+                other => Err(format!(
+                    "lint.toml:{lineno}: unknown key {other:?} in [{section}]"
+                )),
+            };
+        }
+        let target = match (section, key) {
+            ("paths", "skip") => &mut self.skip,
+            ("paths", "render") => &mut self.render_paths,
+            ("paths", "perf-exempt") => &mut self.perf_exempt,
+            ("paths", "panic-free") => &mut self.panic_free,
+            ("paths", "ingest") => &mut self.ingest_paths,
+            ("paths", "exit-allowed") => &mut self.exit_allowed,
+            ("paths", "print-allowed") => &mut self.print_allowed,
+            _ => {
+                return Err(format!(
+                    "lint.toml:{lineno}: unknown key {key:?} in section [{section}]"
+                ))
+            }
+        };
+        *target = parse_string_array(value)
+            .ok_or_else(|| format!("lint.toml:{lineno}: {key} must be an array of strings"))?;
+        Ok(())
+    }
+
+    /// Effective severity for `rule`, given its built-in default.
+    pub fn severity_of(&self, rule: &str, default: Severity) -> Severity {
+        self.severity.get(rule).copied().unwrap_or(default)
+    }
+
+    /// Is `path` under one of the configured `prefixes`? Exact file paths
+    /// and directory prefixes both match; paths are `/`-normalized.
+    pub fn path_in(path: &str, prefixes: &[String]) -> bool {
+        prefixes
+            .iter()
+            .any(|p| path == p || path.starts_with(&format!("{}/", p.trim_end_matches('/'))))
+    }
+}
+
+/// Drop a `#`-to-end-of-line comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML string.
+fn parse_string(value: &str) -> Option<String> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|s| s.to_string())
+}
+
+/// Parse `["a", "b", …]` (trailing comma tolerated).
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let v = value.trim();
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_severities() {
+        let cfg = Config::parse(
+            "# header\n[paths]\nskip = [\"vendor\", \"target\"] # trailing\nrender = [\n  \"crates/core/src/report.rs\",\n  \"crates/experiments/src/atlas_exps.rs\",\n]\n\n[rules.slice-index]\nseverity = \"warn\"\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.skip, vec!["vendor", "target"]);
+        assert_eq!(cfg.render_paths.len(), 2);
+        assert_eq!(
+            cfg.severity_of("slice-index", Severity::Deny),
+            Severity::Warn
+        );
+        assert_eq!(
+            cfg.severity_of("wall-clock", Severity::Deny),
+            Severity::Deny
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let err = Config::parse("[paths]\nbogus = []\n").expect_err("unknown key");
+        assert!(err.contains("lint.toml:2"), "{err}");
+        let err = Config::parse("[rules.x]\nseverity = \"fatal\"\n").expect_err("bad severity");
+        assert!(err.contains("fatal"), "{err}");
+    }
+
+    #[test]
+    fn path_prefix_matching() {
+        let prefixes = vec!["crates/core/src".to_string(), "lone.rs".to_string()];
+        assert!(Config::path_in("crates/core/src/stats.rs", &prefixes));
+        assert!(Config::path_in("lone.rs", &prefixes));
+        assert!(!Config::path_in("crates/core/srcx/f.rs", &prefixes));
+        assert!(!Config::path_in("crates/core", &prefixes));
+    }
+}

@@ -1,0 +1,142 @@
+//! Workspace walker and rule dispatcher.
+//!
+//! The engine walks every `.rs` file and every `Cargo.toml` under the
+//! workspace root (deterministically: directory entries are sorted, the
+//! configured skip list plus `target/` and dot-directories are pruned),
+//! scrubs each source file, runs the rule set, and returns findings
+//! sorted by `(path, line, rule)` so output is stable across platforms
+//! and thread counts.
+
+use crate::config::{Config, Severity};
+use crate::rules::{self, Finding};
+use crate::scrub;
+use std::path::{Path, PathBuf};
+
+/// Lint a single in-memory file, dispatching on its file name. `rel_path`
+/// decides scope (render path, ingest, …), so tests can lint synthetic
+/// content as if it lived anywhere in the tree.
+pub fn lint_path_content(rel_path: &str, content: &str, cfg: &Config) -> Vec<Finding> {
+    if rel_path.ends_with("Cargo.toml") {
+        rules::lint_manifest(rel_path, content, cfg)
+    } else if rel_path.ends_with(".rs") {
+        rules::lint_rust(rel_path, &scrub::scrub(content), cfg)
+    } else {
+        Vec::new()
+    }
+}
+
+/// Walk `root` and lint the whole workspace. Returns findings sorted by
+/// `(path, line, rule)`. I/O problems are reported as strings (path +
+/// error) rather than panics.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    collect_files(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let content =
+            std::fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))?;
+        findings.extend(lint_path_content(rel, &content, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(findings)
+}
+
+/// Count findings at `deny` severity — the run fails iff this is nonzero.
+pub fn deny_count(findings: &[Finding]) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count()
+}
+
+/// Recursively collect lintable files as `/`-separated paths relative to
+/// `root`, pruning the skip list, `target/`, and dot-directories.
+fn collect_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            if name == "target" || Config::path_in(&rel, &cfg.skip) {
+                continue;
+            }
+            collect_files(root, &path, cfg, out)?;
+        } else if (name.ends_with(".rs") || name == "Cargo.toml")
+            && !Config::path_in(&rel, &cfg.skip)
+        {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` holding a
+/// `lint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_by_file_name() {
+        let cfg = Config::parse("[paths]\npanic-free = [\"crates\"]\n").expect("cfg");
+        let rs = lint_path_content(
+            "crates/a/src/f.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); }\n",
+            &cfg,
+        );
+        assert_eq!(rs.len(), 1);
+        let toml = lint_path_content("crates/a/Cargo.toml", "[dependencies]\nx = \"1\"\n", &cfg);
+        assert_eq!(toml.len(), 1);
+        assert!(lint_path_content("README.md", "anything", &cfg).is_empty());
+    }
+
+    #[test]
+    fn deny_counting_respects_severity() {
+        let cfg = Config::parse(
+            "[rules.panic-path]\nseverity = \"warn\"\n[paths]\npanic-free = [\"crates\"]\n",
+        )
+        .expect("cfg");
+        let fs = lint_path_content(
+            "crates/a/src/f.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); }\n",
+            &cfg,
+        );
+        assert_eq!(fs.len(), 1);
+        assert_eq!(deny_count(&fs), 0);
+    }
+}

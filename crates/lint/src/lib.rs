@@ -1,0 +1,69 @@
+//! `dynamips-lint` — a workspace invariant checker.
+//!
+//! The repo's earlier PRs established three guarantees by hand: the
+//! analysis pipeline is panic-free with a 0/1/2 exit-code contract, the
+//! parallel engine is byte-identical to a single-threaded run because no
+//! artifact path reads wall-clock time, unseeded randomness, or
+//! unordered-map iteration order, and the whole workspace builds offline
+//! from vendored path dependencies. This crate turns those prose
+//! invariants into checked ones: a comment/string/attribute-aware
+//! scrubber (no `syn` — the build is offline), a rule engine with
+//! per-rule severities and justified `// lint:allow(<rule>): why`
+//! suppression pragmas, and text/JSON reporters for CI.
+//!
+//! Which paths carry which invariants is declared in the checked-in
+//! `lint.toml` at the workspace root ([`config`]); the rules themselves
+//! live in [`rules`]. Run it as `dynamips lint` or the standalone
+//! `dynamips-lint` binary; exit codes are `0` (clean), `1` (at least one
+//! deny-severity finding), `2` (usage or configuration error).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod scrub;
+
+pub use config::{Config, Severity};
+pub use engine::{deny_count, find_root, lint_path_content, lint_workspace};
+pub use report::{parse_json, render_text, to_json, LINT_SCHEMA};
+pub use rules::{Finding, Rule, ALL_RULES};
+
+/// Output format for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable lines plus a summary.
+    Text,
+    /// The `dynamips-lint-v1` JSON document.
+    Json,
+}
+
+/// Outcome of a whole-workspace lint run, ready for a CLI to print.
+pub struct RunOutcome {
+    /// The rendered report in the requested format.
+    pub report: String,
+    /// Number of deny-severity findings; nonzero means the run failed.
+    pub denies: usize,
+}
+
+/// Lint the workspace at `root` with the given `lint.toml` text, in one
+/// call usable from both binaries. Errors are configuration or I/O
+/// problems (usage-class failures), distinct from findings.
+pub fn run(
+    root: &std::path::Path,
+    config_text: &str,
+    format: Format,
+) -> Result<RunOutcome, String> {
+    let cfg = Config::parse(config_text)?;
+    let findings = lint_workspace(root, &cfg)?;
+    let report = match format {
+        Format::Text => render_text(&findings),
+        Format::Json => to_json(&findings),
+    };
+    Ok(RunOutcome {
+        report,
+        denies: deny_count(&findings),
+    })
+}

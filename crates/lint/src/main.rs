@@ -1,0 +1,95 @@
+//! `dynamips-lint` — standalone workspace invariant checker.
+//!
+//! ```text
+//! dynamips-lint [--format text|json] [--config lint.toml] [--root DIR] [--rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` at least one deny-severity finding, `2`
+//! usage or configuration error — the same contract as `dynamips`.
+
+use dynamips_lint::{run, Format, ALL_RULES};
+use std::path::PathBuf;
+
+/// Exit code for usage/configuration errors.
+const EXIT_USAGE: i32 = 2;
+/// Exit code for a run with deny-severity findings.
+const EXIT_FINDINGS: i32 = 1;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dynamips-lint [--format text|json] [--config PATH] [--root DIR] [--rules]\n\
+         \x20 --format   output format (default: text)\n\
+         \x20 --config   lint config (default: <root>/lint.toml)\n\
+         \x20 --root     workspace root (default: nearest ancestor with lint.toml)\n\
+         \x20 --rules    list the rule set and exit\n\
+         exit code: 0 clean, 1 findings at deny severity, 2 usage/config error"
+    );
+    std::process::exit(EXIT_USAGE);
+}
+
+fn main() {
+    let mut format = Format::Text;
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    _ => usage(),
+                }
+            }
+            "--config" => {
+                config_path = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
+            "--root" => root = Some(args.next().map(Into::into).unwrap_or_else(|| usage())),
+            "--rules" => {
+                for r in ALL_RULES {
+                    println!(
+                        "{:<12} {:<5} {}",
+                        r.id,
+                        r.default_severity.as_str(),
+                        r.summary
+                    );
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|cwd| dynamips_lint::find_root(&cwd))
+        })
+        .unwrap_or_else(|| {
+            eprintln!("dynamips-lint: no lint.toml found above the current directory");
+            std::process::exit(EXIT_USAGE);
+        });
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dynamips-lint: cannot read {}: {e}", config_path.display());
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+
+    match run(&root, &config_text, format) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.denies > 0 {
+                std::process::exit(EXIT_FINDINGS);
+            }
+        }
+        Err(e) => {
+            eprintln!("dynamips-lint: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The rule set: every invariant the workspace enforces mechanically.
+//!
+//! Each rule is grounded in a guarantee an earlier PR established by hand
+//! and that nothing else would keep true:
+//!
+//! * PR 1 made the analysis pipeline panic-free with a 0/1/2 exit-code
+//!   contract → [`PANIC_PATH`], [`SLICE_INDEX`], [`EXIT_CODE`],
+//!   [`PRINT_IN_LIB`].
+//! * PR 2 made the parallel engine byte-identical to `--threads 1`
+//!   because no artifact path reads wall-clock time, unseeded randomness,
+//!   or unordered-map iteration order → [`WALL_CLOCK`], [`UNSEEDED_RNG`],
+//!   [`HASH_ITER`].
+//! * The build is offline and `unsafe`-free by policy → [`OFFLINE_DEPS`],
+//!   [`CRATE_ROOT`].
+//!
+//! Rules operate on the scrubbed code view (comments and literal bodies
+//! blanked), so banned tokens inside strings, doc examples, or comments
+//! never fire. Findings are suppressed line-by-line with
+//! `// lint:allow(<rule>): <justification>` pragmas; a pragma without a
+//! justification is itself a finding ([`BARE_ALLOW`]).
+
+use crate::config::{Config, Severity};
+use crate::scrub::ScrubbedSource;
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case id, used in output and `lint:allow` pragmas.
+    pub id: &'static str,
+    /// Severity when `lint.toml` does not override it.
+    pub default_severity: Severity,
+    /// One-line description for `--explain` style output and docs.
+    pub summary: &'static str,
+}
+
+/// Determinism: no wall-clock reads outside the declared timing layer.
+pub const WALL_CLOCK: Rule = Rule {
+    id: "wall-clock",
+    default_severity: Severity::Deny,
+    summary: "Instant::now/SystemTime::now outside the perf-exempt timing layer",
+};
+
+/// Determinism: no OS-entropy randomness anywhere (seeded RNGs only).
+pub const UNSEEDED_RNG: Rule = Rule {
+    id: "unseeded-rng",
+    default_severity: Severity::Deny,
+    summary: "thread_rng/from_entropy/OsRng: all randomness must be seeded",
+};
+
+/// Determinism: render paths must not touch unordered maps at all.
+pub const HASH_ITER: Rule = Rule {
+    id: "hash-iter",
+    default_severity: Severity::Deny,
+    summary: "HashMap/HashSet in a render path (iteration order leaks into artifacts)",
+};
+
+/// Panic-freedom: no panicking calls in pipeline/ingest non-test code.
+pub const PANIC_PATH: Rule = Rule {
+    id: "panic-path",
+    default_severity: Severity::Deny,
+    summary: "unwrap/expect/panic!/unreachable!/todo! in panic-free code",
+};
+
+/// Panic-freedom: ingest parsers must not index data-derived slices.
+pub const SLICE_INDEX: Rule = Rule {
+    id: "slice-index",
+    default_severity: Severity::Deny,
+    summary: "direct slice indexing in an ingest parser (use get/destructuring)",
+};
+
+/// Contract: exit codes live in one place.
+pub const EXIT_CODE: Rule = Rule {
+    id: "exit-code",
+    default_severity: Severity::Deny,
+    summary: "process::exit outside the binary's exit-code module, or a bare literal code",
+};
+
+/// Contract: library crates never print; rendering returns strings.
+pub const PRINT_IN_LIB: Rule = Rule {
+    id: "print-in-lib",
+    default_severity: Severity::Deny,
+    summary: "println!/eprintln!/dbg! in a library crate",
+};
+
+/// Hygiene: every crate root forbids unsafe code and warns on missing docs.
+pub const CRATE_ROOT: Rule = Rule {
+    id: "crate-root",
+    default_severity: Severity::Deny,
+    summary: "crate root missing #![deny(unsafe_code)] or #![warn(missing_docs)]",
+};
+
+/// Hygiene: dependencies resolve offline (workspace or vendor paths only).
+pub const OFFLINE_DEPS: Rule = Rule {
+    id: "offline-deps",
+    default_severity: Severity::Deny,
+    summary: "Cargo.toml dependency that is not a workspace/path dependency",
+};
+
+/// Meta: `lint:allow` pragmas must carry a justification.
+pub const BARE_ALLOW: Rule = Rule {
+    id: "bare-allow",
+    default_severity: Severity::Deny,
+    summary: "lint:allow pragma without a justification (or naming an unknown rule)",
+};
+
+/// Every rule, for docs, pragma validation, and `--rules` output.
+pub const ALL_RULES: [Rule; 10] = [
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    HASH_ITER,
+    PANIC_PATH,
+    SLICE_INDEX,
+    EXIT_CODE,
+    PRINT_IN_LIB,
+    CRATE_ROOT,
+    OFFLINE_DEPS,
+    BARE_ALLOW,
+];
+
+/// Look up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    ALL_RULES.iter().find(|r| r.id == id)
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id.
+    pub rule: String,
+    /// Effective severity (after `lint.toml` overrides).
+    pub severity: Severity,
+    /// Human-readable description of this occurrence.
+    pub message: String,
+}
+
+/// Is the character an identifier constituent?
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Word-boundary occurrences of `needle` in `line` (byte offsets).
+/// A trailing `(` in the needle anchors a call; a trailing `!` anchors a
+/// macro. The character before the match must not be an identifier char.
+fn token_hits(line: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    // The boundary checks only bind where the needle's own edge is an
+    // identifier char: `.unwrap(` starts with `.`, so any preceding char
+    // is fine, while `panic!` must not match inside `my_panic!`.
+    let first_is_ident = needle.as_bytes().first().is_some_and(|&b| is_ident(b));
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = !first_is_ident || at == 0 || !is_ident(bytes[at - 1]);
+        let after = bytes.get(at + needle.len()).copied();
+        // If the needle ends in an identifier char, the next char must not
+        // extend it (`.unwrap` must not match `.unwrap_or`).
+        let after_ok = if needle.as_bytes().last().is_some_and(|&b| is_ident(b)) {
+            !after.is_some_and(is_ident)
+        } else {
+            true
+        };
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + needle.len();
+    }
+    hits
+}
+
+/// The path-derived scopes a file falls into.
+struct FileScope {
+    test_path: bool,
+    render: bool,
+    perf_exempt: bool,
+    panic_free: bool,
+    ingest: bool,
+    exit_allowed: bool,
+    print_allowed: bool,
+    crate_root: bool,
+}
+
+impl FileScope {
+    fn classify(path: &str, cfg: &Config) -> FileScope {
+        let test_path = path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.contains("/examples/")
+            || path.starts_with("tests/")
+            || path.starts_with("examples/");
+        FileScope {
+            test_path,
+            render: Config::path_in(path, &cfg.render_paths),
+            perf_exempt: Config::path_in(path, &cfg.perf_exempt),
+            panic_free: Config::path_in(path, &cfg.panic_free),
+            ingest: Config::path_in(path, &cfg.ingest_paths),
+            exit_allowed: Config::path_in(path, &cfg.exit_allowed),
+            print_allowed: Config::path_in(path, &cfg.print_allowed),
+            crate_root: path.ends_with("src/lib.rs"),
+        }
+    }
+}
+
+/// A `lint:allow` pragma, resolved to the line it suppresses.
+struct Allow {
+    /// 0-based line whose findings are suppressed.
+    target_line: usize,
+    rules: Vec<String>,
+}
+
+/// Extract `lint:allow` pragmas and their own findings (missing
+/// justification, unknown rule ids).
+fn collect_allows(
+    path: &str,
+    src: &ScrubbedSource,
+    code_lines: &[&str],
+    findings: &mut Vec<Finding>,
+    cfg: &Config,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    let bare_sev = cfg.severity_of(BARE_ALLOW.id, BARE_ALLOW.default_severity);
+    for c in &src.comments {
+        // A pragma must *lead* the comment ( `// lint:allow(…): why` );
+        // prose that merely mentions lint:allow mid-sentence is not one.
+        if !c.text.trim_start().starts_with("lint:allow(") {
+            continue;
+        }
+        let Some(open) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let after = &c.text[open + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            if bare_sev != Severity::Allow {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: c.line + 1,
+                    rule: BARE_ALLOW.id.to_string(),
+                    severity: bare_sev,
+                    message: "malformed lint:allow pragma (unclosed rule list)".to_string(),
+                });
+            }
+            continue;
+        };
+        let mut rules = Vec::new();
+        for raw in after[..close].split(',') {
+            let id = raw.trim();
+            if id.is_empty() {
+                continue;
+            }
+            if rule_by_id(id).is_none() {
+                if bare_sev != Severity::Allow {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: c.line + 1,
+                        rule: BARE_ALLOW.id.to_string(),
+                        severity: bare_sev,
+                        message: format!("lint:allow names unknown rule {id:?}"),
+                    });
+                }
+                continue;
+            }
+            rules.push(id.to_string());
+        }
+        // A justification is required: non-empty text after the `)`,
+        // introduced by `:`, `-`, or an em dash.
+        let tail = after[close + 1..]
+            .trim_start()
+            .trim_start_matches([':', '-', '—'])
+            .trim();
+        if tail.is_empty() {
+            if bare_sev != Severity::Allow {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: c.line + 1,
+                    rule: BARE_ALLOW.id.to_string(),
+                    severity: bare_sev,
+                    message: "lint:allow pragma without a justification".to_string(),
+                });
+            }
+            continue;
+        }
+        // Trailing pragma covers its own line; a standalone pragma covers
+        // the next line that carries code.
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            let mut t = c.line + 1;
+            while t < code_lines.len() && code_lines[t].trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        allows.push(Allow { target_line, rules });
+    }
+    allows
+}
+
+/// Lint one Rust source file (already scrubbed by the caller's engine).
+pub fn lint_rust(path: &str, src: &ScrubbedSource, cfg: &Config) -> Vec<Finding> {
+    let code_lines = src.code_lines();
+    let mut findings: Vec<Finding> = Vec::new();
+    let scope = FileScope::classify(path, cfg);
+    let allows = collect_allows(path, src, &code_lines, &mut findings, cfg);
+
+    let mut push = |rule: &Rule, line0: usize, message: String| {
+        let sev = cfg.severity_of(rule.id, rule.default_severity);
+        if sev == Severity::Allow {
+            return;
+        }
+        if allows
+            .iter()
+            .any(|a| a.target_line == line0 && a.rules.iter().any(|r| r == rule.id))
+        {
+            return;
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line: line0 + 1,
+            rule: rule.id.to_string(),
+            severity: sev,
+            message,
+        });
+    };
+
+    for (line0, line) in code_lines.iter().enumerate() {
+        let in_test = scope.test_path || src.is_test_line(line0);
+
+        // Determinism: wall clock. Applies to test code too — a test that
+        // times itself is a flaky test — but not to the timing layer.
+        if !scope.perf_exempt {
+            for needle in ["Instant::now", "SystemTime::now"] {
+                for _ in token_hits(line, needle) {
+                    push(
+                        &WALL_CLOCK,
+                        line0,
+                        format!("{needle} outside the perf-exempt timing layer"),
+                    );
+                }
+            }
+        }
+
+        // Determinism: OS entropy, everywhere including tests.
+        for needle in ["thread_rng", "from_entropy", "OsRng"] {
+            for _ in token_hits(line, needle) {
+                push(
+                    &UNSEEDED_RNG,
+                    line0,
+                    format!("{needle}: all randomness must be seeded and reproducible"),
+                );
+            }
+        }
+
+        // Determinism: unordered maps in render paths (non-test code).
+        if scope.render && !in_test {
+            for needle in ["HashMap", "HashSet"] {
+                for _ in token_hits(line, needle) {
+                    push(
+                        &HASH_ITER,
+                        line0,
+                        format!("{needle} in a render path; use BTreeMap/sorted collections"),
+                    );
+                }
+            }
+        }
+
+        // Panic-freedom in pipeline and ingest code.
+        if (scope.panic_free || scope.ingest) && !in_test {
+            for needle in [
+                ".unwrap(",
+                ".unwrap_err(",
+                ".expect(",
+                ".expect_err(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
+                for _ in token_hits(line, needle) {
+                    let what = needle.trim_start_matches('.').trim_end_matches('(');
+                    push(
+                        &PANIC_PATH,
+                        line0,
+                        format!("{what} in panic-free code; return an error or degrade"),
+                    );
+                }
+            }
+        }
+
+        // Ingest parsers: no data-derived slice indexing.
+        if scope.ingest && !in_test {
+            for at in index_sites(line) {
+                push(
+                    &SLICE_INDEX,
+                    line0,
+                    format!(
+                        "slice indexing at col {}; use get()/destructuring in ingest code",
+                        at + 1
+                    ),
+                );
+            }
+        }
+
+        // Exit-code contract.
+        for at in token_hits(line, "process::exit") {
+            if !scope.exit_allowed {
+                push(
+                    &EXIT_CODE,
+                    line0,
+                    "process::exit outside the exit-code module; return a status instead"
+                        .to_string(),
+                );
+            } else {
+                // Even in the exit module, codes must be named constants.
+                let rest = line[at + "process::exit".len()..].trim_start();
+                if let Some(arg) = rest.strip_prefix('(') {
+                    if arg.trim_start().starts_with(|c: char| c.is_ascii_digit()) {
+                        push(
+                            &EXIT_CODE,
+                            line0,
+                            "bare exit-code literal; use the named EXIT_* constants".to_string(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Library crates never print.
+        if !scope.print_allowed && !in_test {
+            for needle in ["println!", "eprintln!", "print!", "eprint!", "dbg!"] {
+                for _ in token_hits(line, needle) {
+                    push(
+                        &PRINT_IN_LIB,
+                        line0,
+                        format!("{needle} in a library crate; render to a String instead"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Crate-root hygiene: one finding per missing attribute.
+    if scope.crate_root {
+        let normalized: String = src.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if !normalized.contains("#![deny(unsafe_code)]") {
+            push(
+                &CRATE_ROOT,
+                0,
+                "crate root missing #![deny(unsafe_code)]".to_string(),
+            );
+        }
+        if !normalized.contains("#![warn(missing_docs") {
+            push(
+                &CRATE_ROOT,
+                0,
+                "crate root missing #![warn(missing_docs)]".to_string(),
+            );
+        }
+    }
+
+    findings
+}
+
+/// Byte offsets of direct index expressions in a scrubbed code line: an
+/// identifier char, `)`, or `]` immediately followed by `[`. `vec![…]`,
+/// attributes (`#[…]`), and array-type syntax (`[u8; 4]`) do not match.
+fn index_sites(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for i in 1..bytes.len() {
+        if bytes[i] == b'[' {
+            let prev = bytes[i - 1];
+            if is_ident(prev) || prev == b')' || prev == b']' {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// Lint a `Cargo.toml`: every dependency in any `*dependencies*` section
+/// must resolve offline — a workspace reference or an explicit `path`.
+pub fn lint_manifest(path: &str, text: &str, cfg: &Config) -> Vec<Finding> {
+    let sev = cfg.severity_of(OFFLINE_DEPS.id, OFFLINE_DEPS.default_severity);
+    if sev == Severity::Allow {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_dep_section = name.trim().trim_matches('"').contains("dependencies");
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `foo.workspace = true` and `foo = { workspace = true }` and
+        // `foo = { path = "…" }` are offline; a bare version string or a
+        // git/registry table is not.
+        let offline = key.ends_with(".workspace")
+            || value.contains("workspace = true")
+            || value.contains("path =")
+            || value.contains("path=");
+        let looks_like_dep = value.starts_with('"') || value.starts_with('{');
+        if looks_like_dep && !offline {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: OFFLINE_DEPS.id.to_string(),
+                severity: sev,
+                message: format!(
+                    "dependency {key:?} does not resolve offline (needs workspace/path)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn cfg() -> Config {
+        Config::parse(
+            "[paths]\nrender = [\"crates/x/src/render.rs\"]\nperf-exempt = [\"crates/x/src/perf.rs\"]\npanic-free = [\"crates/x/src\"]\ningest = [\"crates/x/src/parse.rs\"]\nexit-allowed = [\"crates/x/src/main.rs\"]\nprint-allowed = [\"crates/x/src/main.rs\"]\n",
+        )
+        .expect("config")
+    }
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        lint_rust(path, &scrub(src), &cfg())
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_exempt_files_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(run("crates/x/src/render.rs", src).len(), 1);
+        assert!(run("crates/x/src/perf.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let hits = run(
+            "crates/x/src/a.rs",
+            "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+        let hits = run(
+            "crates/x/src/a.rs",
+            "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "panic-path");
+    }
+
+    #[test]
+    fn banned_tokens_in_strings_and_comments_do_not_fire() {
+        let src = "// panic! is banned; Instant::now too\nfn f() -> &'static str { \"panic!(Instant::now)\" }\n";
+        assert!(run("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt_from_panic_rules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(run("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_maps_banned_only_in_render_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(run("crates/x/src/render.rs", src).len(), 1);
+        assert!(run("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_index_fires_in_ingest_only() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        assert_eq!(run("crates/x/src/parse.rs", src).len(), 1);
+        assert!(run("crates/x/src/other.rs", src).is_empty());
+        // vec![] and attributes are not index expressions.
+        let ok = "#[derive(Debug)]\nstruct S;\nfn g() -> Vec<u8> { vec![1, 2] }\n";
+        assert!(run("crates/x/src/parse.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn exit_code_rules() {
+        let src = "fn f() { std::process::exit(3); }\n";
+        let hits = run("crates/x/src/a.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        // In the exit module, named constants are fine, literals are not.
+        assert_eq!(run("crates/x/src/main.rs", src).len(), 1);
+        assert!(run(
+            "crates/x/src/main.rs",
+            "fn f() { std::process::exit(CODE); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn prints_banned_outside_bins() {
+        assert_eq!(
+            run("crates/x/src/a.rs", "fn f() { println!(\"x\"); }\n").len(),
+            1
+        );
+        assert!(run("crates/x/src/main.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_justification_only() {
+        let ok = "fn f() {\n    // lint:allow(panic-path): poisoned mutex is unrecoverable\n    foo.lock().unwrap();\n}\n";
+        assert!(run("crates/x/src/a.rs", ok).is_empty());
+        let trailing = "fn f() { foo.lock().unwrap(); } // lint:allow(panic-path): fine here\n";
+        assert!(run("crates/x/src/a.rs", trailing).is_empty());
+        let bare = "fn f() {\n    // lint:allow(panic-path)\n    foo.lock().unwrap();\n}\n";
+        let hits = run("crates/x/src/a.rs", bare);
+        assert_eq!(
+            hits.len(),
+            2,
+            "bare pragma + unsuppressed finding: {hits:?}"
+        );
+        assert!(hits.iter().any(|f| f.rule == "bare-allow"));
+        let unknown = "// lint:allow(no-such-rule): because\nfn f() {}\n";
+        let hits = run("crates/x/src/a.rs", unknown);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "bare-allow");
+    }
+
+    #[test]
+    fn crate_root_requires_hygiene_attrs() {
+        let hits = run("crates/x/src/lib.rs", "//! docs\n#![warn(missing_docs)]\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("unsafe_code"));
+        let clean = "//! docs\n#![warn(missing_docs)]\n#![deny(unsafe_code)]\n";
+        assert!(run("crates/x/src/lib.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn manifest_rule_flags_registry_and_git_deps() {
+        let cfg = cfg();
+        let bad = "[dependencies]\nserde = \"1.0\"\nrayon = { version = \"1.8\" }\nok = { path = \"vendor/ok\" }\nws.workspace = true\n";
+        let hits = lint_manifest("Cargo.toml", bad, &cfg);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|f| f.rule == "offline-deps"));
+        let good = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[dependencies]\na = { path = \"../a\" }\nb.workspace = true\n[dev-dependencies]\nc = { workspace = true, features = [\"f\"] }\n";
+        assert!(lint_manifest("Cargo.toml", good, &cfg).is_empty());
+    }
+
+    #[test]
+    fn severity_override_to_warn_and_allow() {
+        let mut c = cfg();
+        c.severity.insert("panic-path".into(), Severity::Warn);
+        let hits = lint_rust(
+            "crates/x/src/a.rs",
+            &scrub("fn f(o: Option<u8>) { o.unwrap(); }\n"),
+            &c,
+        );
+        assert_eq!(hits[0].severity, Severity::Warn);
+        c.severity.insert("panic-path".into(), Severity::Allow);
+        let hits = lint_rust(
+            "crates/x/src/a.rs",
+            &scrub("fn f(o: Option<u8>) { o.unwrap(); }\n"),
+            &c,
+        );
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! A comment/string/attribute-aware scrubber for Rust source.
+//!
+//! `dynamips-lint` deliberately does not parse Rust (the build is offline,
+//! so no `syn`); instead it reduces a source file to three aligned views
+//! that are cheap to compute and sufficient for token-level rules:
+//!
+//! * [`ScrubbedSource::code`] — the input with every comment and every
+//!   string/char-literal *body* replaced by spaces (newlines kept), so a
+//!   rule that greps the code view can never match text that only appears
+//!   in a comment, a doc example, or a string literal.
+//! * [`ScrubbedSource::comments`] — the comment text per starting line,
+//!   for `lint:allow` pragma extraction.
+//! * [`ScrubbedSource::test_lines`] — which lines belong to a
+//!   `#[cfg(test)]` item (attribute through matching close brace), so
+//!   panic-freedom rules can exempt test code.
+//!
+//! The lexer understands line comments, nested block comments, plain and
+//! raw (`r#"…"#`) string literals, byte strings, char literals vs.
+//! lifetimes, and escapes. It is intentionally forgiving: on malformed
+//! input it degrades to treating the rest of the file as code rather than
+//! erroring, because the linter must never be the thing that aborts CI on
+//! a file rustc itself accepts.
+
+/// One comment's text (without delimiters), attributed to the line the
+/// comment starts on (0-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 0-based line the comment starts on.
+    pub line: usize,
+    /// `true` if any code precedes the comment on its starting line.
+    pub trailing: bool,
+    /// The comment body, delimiters stripped.
+    pub text: String,
+}
+
+/// The three aligned views of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedSource {
+    /// Comment-and-literal-free code, byte-aligned with the input except
+    /// that scrubbed bytes become spaces (newlines are preserved).
+    pub code: String,
+    /// Every comment, in file order.
+    pub comments: Vec<Comment>,
+    /// Per-line flag: line belongs to a `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+}
+
+impl ScrubbedSource {
+    /// The scrubbed code, split into lines (no terminators).
+    pub fn code_lines(&self) -> Vec<&str> {
+        self.code.lines().collect()
+    }
+
+    /// Whether `line` (0-based) is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Scrub `src`, producing the aligned code/comment/test-span views.
+pub fn scrub(src: &str) -> ScrubbedSource {
+    let bytes = src.as_bytes();
+    let mut code = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line = 0usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Emit one input byte into the code view, either verbatim or blanked.
+    // Newlines always pass through so line numbers stay aligned.
+    macro_rules! emit {
+        ($b:expr, $blank:expr) => {{
+            let b = $b;
+            if b == b'\n' {
+                code.push('\n');
+                line += 1;
+                line_has_code = false;
+            } else if $blank {
+                code.push(' ');
+            } else {
+                code.push(b as char);
+                if !(b as char).is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+            }
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match b {
+            b'/' if next == Some(b'/') => {
+                // Line comment (incl. `///` and `//!` docs).
+                let start_line = line;
+                let trailing = line_has_code;
+                let mut text = String::new();
+                let mut j = i + 2;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                text.push_str(&String::from_utf8_lossy(&bytes[i + 2..j]));
+                for &c in &bytes[i..j] {
+                    emit!(c, true);
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    trailing,
+                    text,
+                });
+                i = j;
+            }
+            b'/' if next == Some(b'*') => {
+                // Block comment; Rust block comments nest.
+                let start_line = line;
+                let trailing = line_has_code;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let inner_end = j.saturating_sub(2).max(i + 2);
+                let text = String::from_utf8_lossy(&bytes[i + 2..inner_end]).into_owned();
+                for &c in &bytes[i..j] {
+                    emit!(c, true);
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    trailing,
+                    text,
+                });
+                i = j;
+            }
+            b'"' => {
+                // Plain string literal: blank the body, keep the quotes.
+                emit!(b'"', false);
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            emit!(bytes[i], true);
+                            emit!(bytes[i + 1], true);
+                            i += 2;
+                        }
+                        b'"' => {
+                            emit!(b'"', false);
+                            i += 1;
+                            break;
+                        }
+                        other => {
+                            emit!(other, true);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+                let (hashes, quote_at) = raw_string_open(bytes, i);
+                for &c in &bytes[i..=quote_at] {
+                    emit!(c, false);
+                }
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let mut j = quote_at + 1;
+                loop {
+                    if j >= bytes.len() {
+                        break;
+                    }
+                    if bytes[j] == b'"' && bytes[j..].starts_with(&closer) {
+                        for &c in &bytes[j..j + closer.len()] {
+                            emit!(c, false);
+                        }
+                        j += closer.len();
+                        break;
+                    }
+                    emit!(bytes[j], true);
+                    j += 1;
+                }
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs. lifetime. A char literal is 'x', '\…',
+                // or '\u{…}'; a lifetime is '<ident> with no closing quote.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    emit!(b'\'', false);
+                    for &c in &bytes[i + 1..end] {
+                        emit!(c, true);
+                    }
+                    emit!(b'\'', false);
+                    i = end + 1;
+                } else {
+                    emit!(b'\'', false);
+                    i += 1;
+                }
+            }
+            _ => {
+                emit!(b, false);
+                i += 1;
+            }
+        }
+    }
+
+    let line_count = code.lines().count().max(1);
+    let mut out = ScrubbedSource {
+        code,
+        comments,
+        test_lines: vec![false; line_count],
+    };
+    mark_test_lines(&mut out);
+    out
+}
+
+/// Does a raw-string literal start at `i` (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of an identifier (`attr"…"` is not raw).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// For a raw string starting at `i`, return `(hash_count, index_of_quote)`.
+fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j)
+}
+
+/// If a char literal starts at `i` (a `'`), return the index of its closing
+/// quote; `None` means `i` starts a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = bytes.get(i + 1)?;
+    if *next == b'\\' {
+        // Escape: scan to the first unescaped closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        None
+    } else if *next != b'\'' && bytes.get(i + 2) == Some(&b'\'') {
+        // One-byte char 'x' — but `''` is not a char and `'a'` vs `'a `
+        // distinguishes char from lifetime.
+        Some(i + 2)
+    } else {
+        // Multi-byte UTF-8 char literal: find a quote within 5 bytes.
+        if !next.is_ascii() {
+            let mut j = i + 1;
+            let limit = (i + 6).min(bytes.len());
+            while j < limit {
+                if bytes[j] == b'\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Mark every line covered by a `#[cfg(test)]` (or `#[cfg(any/all(… test
+/// …))]`) item: from the attribute line through the matching close brace
+/// of the item it decorates (or its terminating `;` for brace-less items).
+fn mark_test_lines(src: &mut ScrubbedSource) {
+    let code = src.code.clone();
+    let bytes = code.as_bytes();
+    let mut search = 0usize;
+    while let Some(found) = code[search..].find("#[cfg(") {
+        let attr_start = search + found;
+        let Some(attr_close) = matching_bracket(bytes, attr_start + 1, b'[', b']') else {
+            break;
+        };
+        let attr_body = &code[attr_start..=attr_close];
+        search = attr_close + 1;
+        if !attr_mentions_test(attr_body) {
+            continue;
+        }
+        // Find the extent of the decorated item: skip whitespace and any
+        // further attributes, then scan to the first `{` or `;`.
+        let mut j = attr_close + 1;
+        loop {
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'#' {
+                match matching_bracket(bytes, j + 1, b'[', b']') {
+                    Some(close) => j = close + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let mut item_end = None;
+        let mut k = j;
+        while k < bytes.len() {
+            match bytes[k] {
+                b';' => {
+                    item_end = Some(k);
+                    break;
+                }
+                b'{' => {
+                    item_end = matching_bracket(bytes, k, b'{', b'}');
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        let end = item_end.unwrap_or(bytes.len().saturating_sub(1));
+        let first_line = line_of(bytes, attr_start);
+        let last_line = line_of(bytes, end);
+        for l in first_line..=last_line.min(src.test_lines.len().saturating_sub(1)) {
+            src.test_lines[l] = true;
+        }
+        search = end.min(bytes.len().saturating_sub(1)) + 1;
+    }
+}
+
+/// Does a `#[cfg(…)]` attribute body reference the `test` predicate?
+fn attr_mentions_test(attr: &str) -> bool {
+    // `#[cfg(not(test))]` (and friends) guard *live* code; treating them
+    // as test spans would hide real findings, so a negated predicate
+    // conservatively counts as non-test.
+    if attr.contains("not(") {
+        return false;
+    }
+    let mut rest = attr;
+    while let Some(pos) = rest.find("test") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = rest[pos + 4..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+/// Index of the bracket matching `open` at/after `from` (which must point
+/// at the opening bracket), or `None` if unbalanced.
+fn matching_bracket(bytes: &[u8], from: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < bytes.len() {
+        if bytes[j] == open {
+            depth += 1;
+        } else if bytes[j] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// 0-based line number of byte offset `at`.
+fn line_of(bytes: &[u8], at: usize) -> usize {
+    bytes[..at.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let s = scrub("let x = \"Instant::now()\"; // Instant::now()\n");
+        assert!(!s.code.contains("Instant::now"));
+        assert!(s.code.contains("let x = \""));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("Instant::now()"));
+        assert!(s.comments[0].trailing);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let s = scrub("fn f<'a>(x: &'a str) { let _ = r#\"panic!\"#; let c = 'p'; }\n");
+        assert!(!s.code.contains("panic!"));
+        assert!(s.code.contains("<'a>"), "lifetime survives: {}", s.code);
+        assert!(!s.code.contains("'p'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrub("/* outer /* inner */ still comment */ fn f() {}\n");
+        assert!(s.code.contains("fn f"));
+        assert!(!s.code.contains("outer"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn a() {}\n}\nfn after() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test_line(0));
+        assert!(s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_all_test_and_braceless_items() {
+        let src = "#[cfg(all(test, unix))]\nuse std::fs;\nfn live() {}\n";
+        let s = scrub(src);
+        assert!(s.is_test_line(0));
+        assert!(s.is_test_line(1));
+        assert!(!s.is_test_line(2));
+        // `latest` must not read as the test predicate.
+        let other = scrub("#[cfg(feature = \"latest\")]\nmod m {}\n");
+        assert!(!other.is_test_line(1));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_alignment() {
+        let src = "let s = \"a\nb\nc\";\nfn f() {}\n";
+        let s = scrub(src);
+        let lines = s.code_lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("fn f"));
+    }
+}

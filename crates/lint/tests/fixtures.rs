@@ -1,0 +1,119 @@
+//! Integration tests over the fixture corpus in `tests/fixtures/` — one
+//! miniature workspace whose files each trip (or deliberately dodge) one
+//! rule — plus the meta-test that the real workspace is lint-clean under
+//! the checked-in `lint.toml`.
+
+use dynamips_lint::{
+    deny_count, lint_path_content, lint_workspace, parse_json, render_text, to_json, Config,
+    Finding, ALL_RULES,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn lint_fixtures() -> Vec<Finding> {
+    let root = fixture_root();
+    let cfg_text = std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("fixture config parses");
+    lint_workspace(&root, &cfg).expect("fixture corpus lints")
+}
+
+/// Every rule fires on the corpus, with exactly the counts the fixture
+/// headers promise.
+#[test]
+fn fixture_corpus_trips_every_rule() {
+    let findings = lint_fixtures();
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &findings {
+        *by_rule.entry(f.rule.as_str()).or_default() += 1;
+    }
+    let expected: &[(&str, usize)] = &[
+        ("bare-allow", 2),
+        ("crate-root", 2),
+        ("exit-code", 2),
+        ("hash-iter", 2),
+        ("offline-deps", 2),
+        ("panic-path", 4),
+        ("print-in-lib", 1),
+        ("slice-index", 2),
+        ("unseeded-rng", 2),
+        ("wall-clock", 2),
+    ];
+    let got: Vec<(&str, usize)> = by_rule.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, expected, "full findings: {findings:#?}");
+    for rule in ALL_RULES {
+        assert!(
+            by_rule.contains_key(rule.id),
+            "rule {:?} never fired on the corpus",
+            rule.id
+        );
+    }
+    assert_eq!(
+        deny_count(&findings),
+        findings.len(),
+        "all defaults are deny"
+    );
+}
+
+/// The clean fixtures — perf exemption, justified pragmas, look-alike
+/// tokens in strings/comments/tests — produce no findings at all.
+#[test]
+fn clean_fixtures_stay_clean() {
+    let findings = lint_fixtures();
+    for clean in ["src/perf.rs", "src/suppressed.rs", "src/tricky.rs"] {
+        let hits: Vec<&Finding> = findings.iter().filter(|f| f.path == clean).collect();
+        assert!(hits.is_empty(), "{clean} should be clean: {hits:#?}");
+    }
+}
+
+/// The meta-test: the workspace itself, under the checked-in `lint.toml`,
+/// has zero deny-severity findings. Any regression — a new unwrap in the
+/// pipeline, a wall-clock read in a renderer, a registry dependency —
+/// fails this test.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let cfg_text = std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("workspace config parses");
+    let findings = lint_workspace(&root, &cfg).expect("workspace lints");
+    assert_eq!(
+        deny_count(&findings),
+        0,
+        "workspace has deny findings:\n{}",
+        render_text(&findings)
+    );
+}
+
+/// A wall-clock read injected into an artifact-rendering module is caught
+/// under the real workspace configuration — the acceptance scenario for
+/// the byte-identical-artifacts guarantee.
+#[test]
+fn injected_wall_clock_in_render_module_is_caught() {
+    let cfg_text =
+        std::fs::read_to_string(workspace_root().join("lint.toml")).expect("workspace lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("workspace config parses");
+    let injected = "pub fn table1() -> String {\n    let _t = std::time::Instant::now();\n    String::new()\n}\n";
+    let findings = lint_path_content("crates/core/src/report.rs", injected, &cfg);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "wall-clock");
+    assert_eq!(findings[0].line, 2);
+    // The same content in the timing layer is exempt.
+    assert!(lint_path_content("crates/core/src/perf.rs", injected, &cfg).is_empty());
+}
+
+/// The JSON report of the whole corpus round-trips losslessly.
+#[test]
+fn fixture_report_round_trips_through_json() {
+    let findings = lint_fixtures();
+    let json = to_json(&findings);
+    assert!(json.contains("\"schema\": \"dynamips-lint-v1\""));
+    let back = parse_json(&json).expect("report parses");
+    assert_eq!(back, findings);
+}

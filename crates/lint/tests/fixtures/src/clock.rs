@@ -1,0 +1,14 @@
+//! Fixture: determinism violations outside the timing layer.
+//! Expected: wall-clock x2, unseeded-rng x2.
+
+pub fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_millis()
+}
+
+pub fn roll() -> u8 {
+    let mut _r = rand::thread_rng();
+    let _ = rand::rngs::SmallRng::from_entropy();
+    0
+}

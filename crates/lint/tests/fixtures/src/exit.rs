@@ -1,0 +1,6 @@
+//! Fixture: process::exit outside the binary's exit-code module.
+//! Expected: exit-code x1.
+
+pub fn bail() {
+    std::process::exit(2);
+}

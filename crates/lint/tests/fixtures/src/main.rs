@@ -1,0 +1,13 @@
+//! Fixture: the binary's exit-code module. Exiting through named EXIT_*
+//! constants is the contract; a bare literal is flagged even here, and
+//! binaries may print. Expected: exit-code x1 (the literal).
+
+const EXIT_OK: i32 = 0;
+
+fn main() {
+    println!("binaries may print");
+    if std::env::args().count() > 1 {
+        std::process::exit(1);
+    }
+    std::process::exit(EXIT_OK);
+}

@@ -1,0 +1,13 @@
+//! Fixture: ingest-parser violations — panics and direct indexing on
+//! data-derived slices. Expected: panic-path x3, slice-index x2.
+
+pub fn parse(fields: &[&str]) -> u32 {
+    let first = fields[0];
+    let n: u32 = first.parse().unwrap();
+    if n > 10 {
+        panic!("too big");
+    }
+    let _ = fields.get(1).copied().expect("second field");
+    let _ = fields[1];
+    n
+}

@@ -1,0 +1,6 @@
+//! Fixture: the declared timing layer may read the wall clock.
+//! Expected: clean.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

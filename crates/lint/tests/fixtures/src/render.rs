@@ -1,0 +1,10 @@
+//! Fixture: unordered containers in an artifact-render path, where
+//! iteration order would leak into regenerated artifacts.
+//! Expected: hash-iter x2.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn render() -> String {
+    String::new()
+}

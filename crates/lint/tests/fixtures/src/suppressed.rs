@@ -1,0 +1,12 @@
+//! Fixture: justified pragmas suppress findings, both standalone (covers
+//! the next code line) and trailing (covers its own line).
+//! Expected: clean.
+
+pub fn locked(m: &std::sync::Mutex<u32>) -> u32 {
+    // lint:allow(panic-path): a poisoned lock is unrecoverable here
+    *m.lock().unwrap()
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // lint:allow(wall-clock): exercising trailing pragmas
+}

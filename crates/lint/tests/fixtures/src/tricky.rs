@@ -1,0 +1,27 @@
+//! Fixture: look-alikes that must NOT fire (false-positive guards).
+//! Expected: clean.
+
+/// Banned tokens inside strings are data, not code.
+pub fn describe() -> &'static str {
+    "call .unwrap() or panic! at Instant::now over a HashMap"
+}
+
+/// Raw-string bodies are not code either.
+pub fn raw() -> &'static str {
+    r#"thread_rng() and fields[0] and std::process::exit(1)"#
+}
+
+/// `unwrap_or` must not match the `.unwrap(` needle, and `'a'` here is a
+/// char literal, not a lifetime that would derail the scrubber.
+pub fn lookalikes(o: Option<char>) -> char {
+    o.unwrap_or('a')
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = [1, 2, 3];
+        assert_eq!(Some(v[0]).unwrap(), 1);
+    }
+}

@@ -338,10 +338,16 @@ impl IspConfig {
         }
         for (i, st) in self.stabilization.iter().enumerate() {
             if st.from_class >= self.classes.len() || st.to_class >= self.classes.len() {
-                return Err(format!("{}: stabilization {i} references a missing class", self.name));
+                return Err(format!(
+                    "{}: stabilization {i} references a missing class",
+                    self.name
+                ));
             }
             if st.mean_hours <= 0.0 || st.mean_hours.is_nan() {
-                return Err(format!("{}: stabilization {i} needs a positive mean", self.name));
+                return Err(format!(
+                    "{}: stabilization {i} needs a positive mean",
+                    self.name
+                ));
             }
             let target = &self.classes[st.to_class];
             if target.v6.is_some() && target.cpe_mix.is_empty() {

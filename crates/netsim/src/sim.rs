@@ -44,16 +44,37 @@ enum OutageKind {
 /// outage- or admin-driven rescheduling.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    V4SessionEnd { sub: u32, gen: u32 },
-    V6RenumberDue { sub: u32, gen: u32 },
-    Lan64Rotate { sub: u32, gen: u32 },
-    OutageStart { sub: u32, long: bool },
-    OutageEnd { sub: u32 },
-    InfraOutage { group: u32 },
-    AdminRenumber { group: u32 },
+    V4SessionEnd {
+        sub: u32,
+        gen: u32,
+    },
+    V6RenumberDue {
+        sub: u32,
+        gen: u32,
+    },
+    Lan64Rotate {
+        sub: u32,
+        gen: u32,
+    },
+    OutageStart {
+        sub: u32,
+        long: bool,
+    },
+    OutageEnd {
+        sub: u32,
+    },
+    InfraOutage {
+        group: u32,
+    },
+    AdminRenumber {
+        group: u32,
+    },
     /// Policy evolution: the subscriber's line is migrated to another
     /// subscriber class (see `config::Stabilization`).
-    Stabilize { sub: u32, to_class: usize },
+    Stabilize {
+        sub: u32,
+        to_class: usize,
+    },
 }
 
 /// State of one IPv4 pool.
@@ -979,9 +1000,7 @@ impl IspSim {
             s.v6_gen = s.v6_gen.wrapping_add(1);
             s.rot_gen = s.rot_gen.wrapping_add(1);
         }
-        if self.subs[sub as usize].plan.v6.is_some()
-            && self.subs[sub as usize].v6_hold.is_none()
-        {
+        if self.subs[sub as usize].plan.v6.is_some() && self.subs[sub as usize].v6_hold.is_none() {
             if !target.cpe_mix.is_empty() {
                 let weights: Vec<f64> = target.cpe_mix.iter().map(|(w, _)| *w).collect();
                 let pick = weighted_index(&mut self.rng, &weights);

@@ -595,7 +595,9 @@ fn dual_stack_flag_propagates_to_timelines() {
 fn try_new_rejects_invalid_configs() {
     let mut cfg = base_isp();
     cfg.classes = vec![]; // no subscriber classes
-    let err = IspSim::try_new(cfg, window_days(10), 1).err().expect("rejected");
+    let err = IspSim::try_new(cfg, window_days(10), 1)
+        .err()
+        .expect("rejected");
     assert!(err.contains("no subscriber classes"), "{err}");
 
     let mut cfg = base_isp();

@@ -42,6 +42,9 @@
 //! paper-artifact harness (`cargo run --release -p dynamips-experiments --
 //! all`).
 
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
 pub use dynamips_atlas as atlas;
 pub use dynamips_cdn as cdn;
 pub use dynamips_core as core;

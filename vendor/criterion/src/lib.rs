@@ -68,7 +68,7 @@ pub struct Criterion {
 impl Criterion {
     /// Apply CLI-style filtering (substring match on the benchmark id).
     fn matches(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
     /// Run one benchmark.

@@ -22,10 +22,11 @@ use rand::SeedableRng;
 /// Re-exports matching `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
-    pub use crate::test_runner::TestCaseError;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-                    proptest};
     pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Test-runner plumbing used by the [`proptest!`] macro expansion.
@@ -532,8 +533,7 @@ pub mod arbitrary {
             }
         )*};
     }
-    impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool, f32,
-                                 f64);
+    impl_arbitrary_via_standard!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool, f32, f64);
 
     impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
         fn arbitrary_value(rng: &mut SmallRng) -> Self {
@@ -608,6 +608,8 @@ macro_rules! proptest {
                 let mut rejected: u32 = 0;
                 let mut ran: u32 = 0;
                 while ran < config.cases {
+                    // IIFE so `?` inside the body maps to TestCaseError.
+                    #[allow(clippy::redundant_closure_call)]
                     let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                         $crate::proptest!(@bind rng, $($params)*);
                         $body
