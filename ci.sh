@@ -16,10 +16,11 @@ say "cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 say "dynamips-lint"
-cargo run --quiet -p dynamips-lint -- --format json
+cargo run --quiet -p dynamips-lint
+cargo run --quiet -p dynamips-lint -- --format json > target/lint-report.json
 
 say "cargo build --release"
-cargo build --release --quiet
+cargo build --release --quiet --locked
 
 say "cargo test"
 cargo test --workspace -q

@@ -149,6 +149,8 @@ pub(crate) fn truncate_line_text(line: &str) -> String {
 
 /// Error from parsing an echo TSV dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(dead-pub): named in the pub from_tsv/from_tsv_lossy signatures;
+// callers consume values without ever spelling the type name.
 pub struct EchoParseError {
     /// 1-based line number.
     pub line: usize,
@@ -177,7 +179,7 @@ impl std::error::Error for EchoParseError {
 }
 
 /// One probe's parsed records: `(probe, v4 records, v6 records)`.
-pub type ProbeRecords = (ProbeId, Vec<EchoV4>, Vec<EchoV6>);
+pub(crate) type ProbeRecords = (ProbeId, Vec<EchoV4>, Vec<EchoV6>);
 
 /// One successfully parsed line.
 enum EchoLine {

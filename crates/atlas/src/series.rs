@@ -55,7 +55,7 @@ impl ProbeSeries {
 
 /// Generation knobs for one probe's series.
 #[derive(Debug, Clone, Copy)]
-pub struct SeriesOptions {
+pub(crate) struct SeriesOptions {
     /// Observation sub-window (the probe's deployment lifetime).
     pub observed: Window,
     /// Probability that any individual hourly measurement is missing
@@ -71,13 +71,13 @@ pub struct SeriesOptions {
 }
 
 /// The RFC 1918 address a typical probe reports as its IPv4 `src_addr`.
-pub fn private_src(probe: ProbeId) -> Ipv4Addr {
+pub(crate) fn private_src(probe: ProbeId) -> Ipv4Addr {
     Ipv4Addr::new(192, 168, 1, 2 + (probe.0 % 250) as u8)
 }
 
 /// Generate the hourly echo series for a subscriber-hosted probe by walking
 /// the ground-truth timeline segment by segment (no per-hour lookups).
-pub fn series_from_timeline<R: Rng + ?Sized>(
+pub(crate) fn series_from_timeline<R: Rng + ?Sized>(
     rng: &mut R,
     probe: ProbeId,
     timeline: &SubscriberTimeline,

@@ -153,6 +153,8 @@ fn truncate_line_text(line: &str) -> String {
 
 /// Error from parsing an association TSV dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(dead-pub): named in the pub from_tsv/from_tsv_lossy signatures;
+// callers consume values without ever spelling the type name.
 pub struct AssociationParseError {
     /// 1-based line number.
     pub line: usize,

@@ -46,6 +46,8 @@ impl Default for DeviceConfig {
 
 /// One observed device address on one day.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): named in the pub observe_devices signature; callers
+// consume values without ever spelling the type name.
 pub struct DeviceObservation {
     /// Day since the simulation epoch.
     pub day: u32,

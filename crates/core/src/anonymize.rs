@@ -16,6 +16,8 @@ use std::collections::{HashMap, HashSet};
 
 /// k-anonymity statistics for one truncation length.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct TruncationStats {
     /// The truncation length audited.
     pub len: u8,

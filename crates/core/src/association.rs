@@ -77,7 +77,7 @@ pub fn durations_by_asn(runs: &[AssociationRun]) -> HashMap<Asn, Vec<f64>> {
 
 /// Group run durations by (RIR, mobile) using a resolver from ASN to RIR —
 /// the Figure-3 boxplot populations.
-pub fn durations_by_rir_access(
+pub(crate) fn durations_by_rir_access(
     runs: &[AssociationRun],
     rir_of: impl Fn(Asn) -> Option<Rir>,
 ) -> HashMap<(Rir, bool), Vec<f64>> {

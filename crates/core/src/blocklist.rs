@@ -24,6 +24,8 @@ pub struct BlockPolicy {
 
 /// Outcome of replaying one block against ground truth.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct BlockOutcome {
     /// The blocked prefix.
     pub blocked: Ipv6Prefix,
@@ -52,7 +54,7 @@ impl BlockOutcome {
 
 /// Replay `policy` against ground truth: `actor` is blocked at `t0` (using
 /// its /64 at that time); `others` are the network's other subscribers.
-pub fn replay_block(
+pub(crate) fn replay_block(
     policy: BlockPolicy,
     actor: &SubscriberTimeline,
     others: &[&SubscriberTimeline],

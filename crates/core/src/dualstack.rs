@@ -11,6 +11,8 @@ use dynamips_netsim::SimTime;
 
 /// An IPv4 duration labeled by the probe's stack type during it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct LabeledDuration {
     /// Duration, hours.
     pub hours: u64,

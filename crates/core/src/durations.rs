@@ -10,7 +10,7 @@ use dynamips_netsim::{DAY, WEEK, YEAR};
 use std::collections::HashMap;
 
 /// Canonical duration marks used on the paper's Figure-1 x axis.
-pub const DURATION_MARKS: [(&str, u64); 12] = [
+pub(crate) const DURATION_MARKS: [(&str, u64); 12] = [
     ("1h", 1),
     ("6h", 6),
     ("12h", 12),
@@ -124,6 +124,8 @@ impl DurationSet {
 
 /// A detected periodic renumbering pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct PeriodicPattern {
     /// Detected period, hours.
     pub period_hours: u64,
@@ -151,6 +153,7 @@ pub fn detect_period(
     }
     // Count durations per exact hour value, then look for the hour whose
     // tolerance window captures the most durations.
+    // lint:allow(determinism-taint): keys are sorted before iteration below
     let mut counts: HashMap<u64, usize> = HashMap::new();
     for &d in set.raw() {
         *counts.entry(d).or_insert(0) += 1;

@@ -17,6 +17,8 @@ use std::collections::BTreeMap;
 
 /// Durations bucketed by calendar year of assignment start.
 #[derive(Debug, Clone, Default)]
+// lint:allow(dead-pub): analysis API exercised by this crate's tests; staged
+// for the evolution experiments.
 pub struct YearlyDurations {
     per_year: BTreeMap<i32, DurationSet>,
 }
@@ -29,6 +31,7 @@ impl YearlyDurations {
 
     /// Add one probe's sandwiched durations, attributing each to the year
     /// its assignment began.
+    // lint:allow(dead-pub): exercised by this crate's tests; see YearlyDurations.
     pub fn add_spans<T: PartialEq + Copy>(&mut self, spans: &[Span<T>]) {
         if spans.len() < 3 {
             return;
@@ -54,6 +57,7 @@ impl YearlyDurations {
     /// The year-over-year trend statistic the paper reports: the fraction
     /// of total assigned time spent in assignments at or below `mark_hours`
     /// per year. A shrinking series means durations are growing.
+    // lint:allow(dead-pub): exercised by this crate's tests; see YearlyDurations.
     pub fn short_mass_by_year(&self, mark_hours: u64) -> Vec<(i32, f64)> {
         self.per_year
             .iter()
@@ -63,6 +67,7 @@ impl YearlyDurations {
 
     /// Linear trend (least-squares slope per year) of the short-duration
     /// mass. Negative = durations increasing over time.
+    // lint:allow(dead-pub): exercised by this crate's tests; see YearlyDurations.
     pub fn trend_slope(&self, mark_hours: u64) -> Option<f64> {
         self.trend_slope_until(mark_hours, i32::MAX)
     }
@@ -70,6 +75,7 @@ impl YearlyDurations {
     /// [`YearlyDurations::trend_slope`] restricted to years strictly before
     /// `last_year_exclusive` — used to drop the right-censored partial year
     /// at the end of an observation window.
+    // lint:allow(dead-pub): exercised by this crate's tests; see YearlyDurations.
     pub fn trend_slope_until(&self, mark_hours: u64, last_year_exclusive: i32) -> Option<f64> {
         let pts: Vec<(i32, f64)> = self
             .short_mass_by_year(mark_hours)
@@ -106,7 +112,7 @@ impl YearlyDurations {
 /// unlike per-year duration masses, it only needs `horizon` hours of
 /// lookahead, so every year of a window except its very end is measured
 /// on equal footing.
-pub fn survives_at<T: PartialEq + Copy>(
+pub(crate) fn survives_at<T: PartialEq + Copy>(
     spans: &[Span<T>],
     t: dynamips_netsim::SimTime,
     horizon_hours: u64,
@@ -175,6 +181,7 @@ impl YearlySurvival {
 }
 
 /// Convenience: the calendar year a simulation hour falls in.
+// lint:allow(dead-pub): exercised by this crate's tests; see YearlyDurations.
 pub fn year_of_hour(hours: u64) -> i32 {
     Date::from_days_since_epoch(hours / 24).year
 }

@@ -44,6 +44,7 @@ impl ScanPlan {
         let mut pools: Vec<Ipv6Prefix> = seeds
             .iter()
             .map(|s| s.supernet(pool_len).unwrap_or(*s))
+            // lint:allow(determinism-taint): dedup only; sorted right after
             .collect::<HashSet<_>>()
             .into_iter()
             .collect();
@@ -153,6 +154,7 @@ pub fn hit_rate(targets: &[Ipv6Prefix], actual: &[Ipv6Prefix]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
+    // lint:allow(determinism-taint): membership tests only; never iterated
     let set: HashSet<u128> = targets.iter().map(|t| t.bits()).collect();
     let hits = actual.iter().filter(|a| set.contains(&a.bits())).count();
     hits as f64 / actual.len() as f64

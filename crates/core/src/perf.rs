@@ -8,7 +8,7 @@
 //! JSON dependency.
 
 /// Schema tag written into every record, bumped on layout changes.
-pub const PERF_SCHEMA: &str = "dynamips-bench-v1";
+pub(crate) const PERF_SCHEMA: &str = "dynamips-bench-v1";
 
 /// One named wall-time measurement, milliseconds.
 #[derive(Debug, Clone, PartialEq)]

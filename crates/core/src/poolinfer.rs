@@ -42,6 +42,8 @@ fn probe_contained(history: &ProbeHistory, len: u8, max_pools: usize) -> Option<
 
 /// Result of a pool-boundary estimation over a probe population.
 #[derive(Debug, Clone, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct PoolBoundary {
     /// The inferred pool prefix length.
     pub pool_len: u8,

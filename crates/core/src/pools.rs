@@ -16,7 +16,7 @@ pub const POOL_LENGTHS: [u8; 7] = [64, 56, 48, 40, 32, 24, 16];
 /// Unique-prefix counts at each tracked length for one probe, plus the
 /// number of unique routed BGP prefixes its /64s fell into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UniquePrefixCounts {
+pub(crate) struct UniquePrefixCounts {
     /// `counts[i]` = unique supernets of length `POOL_LENGTHS[i]`.
     pub counts: [usize; 7],
     /// Unique routed BGP prefixes.
@@ -25,7 +25,10 @@ pub struct UniquePrefixCounts {
 
 /// Count unique enclosing prefixes at every tracked length for a probe's
 /// observed /64s.
-pub fn unique_prefixes(history: &ProbeHistory, routing: &RoutingTable) -> UniquePrefixCounts {
+pub(crate) fn unique_prefixes(
+    history: &ProbeHistory,
+    routing: &RoutingTable,
+) -> UniquePrefixCounts {
     let mut counts = [0usize; 7];
     for (i, len) in POOL_LENGTHS.iter().enumerate() {
         let set: HashSet<u128> = history

@@ -46,6 +46,8 @@ impl Default for SanitizeConfig {
 
 /// Why a probe (or all of it) was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub enum RejectReason {
     /// Non-residential or explicitly multihomed tag.
     BadTag,

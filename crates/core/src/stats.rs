@@ -16,7 +16,7 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
 /// Quantile over an already-sorted slice. An empty slice yields NaN
 /// (rather than panicking); prefer [`quantile`] when emptiness is
 /// possible.
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -126,7 +126,11 @@ pub fn weighted_cdf_at(values: &[(f64, f64)], thresholds: &[f64]) -> Vec<f64> {
 /// Histogram over log10-spaced bins, used for the paper's Figure-4 degree
 /// densities (x axis 10^0 … 10^6). Returns `(bin upper edges, densities)`
 /// where densities sum to 1 over non-empty input.
-pub fn log10_histogram(values: &[f64], decades: u32, bins_per_decade: u32) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn log10_histogram(
+    values: &[f64],
+    decades: u32,
+    bins_per_decade: u32,
+) -> (Vec<f64>, Vec<f64>) {
     let nbins = (decades * bins_per_decade) as usize;
     let mut counts = vec![0.0f64; nbins];
     let mut total = 0.0;
@@ -152,7 +156,7 @@ pub fn log10_histogram(values: &[f64], decades: u32, bins_per_decade: u32) -> (V
 
 /// Weighted variant of [`log10_histogram`]: each value contributes its
 /// weight (the paper's "hit weighted distribution").
-pub fn log10_histogram_weighted(
+pub(crate) fn log10_histogram_weighted(
     values: &[(f64, f64)],
     decades: u32,
     bins_per_decade: u32,

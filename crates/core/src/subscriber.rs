@@ -35,6 +35,8 @@ pub fn infer_subscriber_len(history: &ProbeHistory) -> Option<u8> {
 ///     .map(|s| s.parse::<Ipv6Prefix>().unwrap());
 /// assert_eq!(infer_subscriber_len_of(p64s), Some(56));
 /// ```
+// lint:allow(dead-pub): doctest-facing; the doc example above is an external
+// caller this scan cannot see.
 pub fn infer_subscriber_len_of(p64s: impl Iterator<Item = Ipv6Prefix>) -> Option<u8> {
     let mut any = false;
     let mut or_bits: u64 = 0;

@@ -53,6 +53,7 @@ impl NibbleModel {
     }
 
     /// Number of seeds the model was trained on.
+    // lint:allow(dead-pub): test-facing accessor for the training-set size.
     pub fn trained_on(&self) -> usize {
         self.trained_on
     }
@@ -135,6 +136,7 @@ pub fn sixgen_targets(seeds: &[Ipv6Prefix], min_cluster_len: u8, limit: usize) -
     });
 
     let mut out: Vec<Ipv6Prefix> = Vec::with_capacity(limit);
+    // lint:allow(determinism-taint): dedup guard only; never iterated
     let mut emitted: HashSet<u128> = HashSet::new();
     for c in &clusters {
         if out.len() >= limit {

@@ -31,6 +31,8 @@ pub enum TrackingKey {
 
 /// Result of a trackability evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through pub fn
+// returns and pattern matches without the type name being spelled.
 pub struct Trackability {
     /// Longest continuous interval (hours) over which the key kept
     /// identifying the subscriber.
@@ -146,6 +148,8 @@ pub fn eui64_relocatable_within(timeline: &SubscriberTimeline, pool_len: u8) -> 
 
 /// Convenience: the paper's headline comparison for one subscriber —
 /// privacy addresses rotate daily yet the /64 tracks for `x` days.
+// lint:allow(dead-pub): headline-summary helper exercised by this crate's
+// tests.
 pub fn privacy_vs_prefix_summary(timeline: &SubscriberTimeline) -> (f64, f64) {
     let privacy = evaluate(
         timeline,
@@ -161,6 +165,7 @@ pub fn privacy_vs_prefix_summary(timeline: &SubscriberTimeline) -> (f64, f64) {
 }
 
 /// Typed keys for reporting.
+// lint:allow(dead-pub): reporting helper exercised by this crate's tests.
 pub fn key_label(key: TrackingKey) -> String {
     match key {
         TrackingKey::FullAddressPrivacyIid { rotation_hours } => {

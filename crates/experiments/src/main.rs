@@ -33,7 +33,7 @@ fn usage() -> ! {
          \x20          (corrupt the TSV dumps, re-ingest through the lossy\n\
          \x20          loaders, verify the paper shapes survive; defaults to\n\
          \x20          the reference scale: seed 2020, scales 0.2/0.15)\n\
-         lint:      lint [--format text|json]\n\
+         lint:      lint [--format text|json|sarif]\n\
          \x20          (check the workspace's determinism, panic-freedom,\n\
          \x20          and offline-build invariants against lint.toml)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
@@ -134,9 +134,8 @@ fn main() {
             usage();
         }
         let format = match lint_format.as_deref() {
-            None | Some("text") => dynamips_lint::Format::Text,
-            Some("json") => dynamips_lint::Format::Json,
-            Some(_) => usage(),
+            None => dynamips_lint::Format::Text,
+            Some(word) => dynamips_lint::Format::parse(word).unwrap_or_else(|| usage()),
         };
         let Some(root) = std::env::current_dir()
             .ok()
@@ -152,7 +151,7 @@ fn main() {
                 std::process::exit(EXIT_USAGE);
             }
         };
-        match dynamips_lint::run(&root, &config_text, format) {
+        match dynamips_lint::run(&root, &config_text, format, true) {
             Ok(outcome) => {
                 print!("{}", outcome.report);
                 if outcome.denies > 0 {

@@ -1,0 +1,77 @@
+//! Interprocedural analyses over the workspace call graph.
+//!
+//! The per-file rules in [`crate::rules`] see one line at a time; the
+//! analyses here see the whole workspace: [`panic_reach`] walks the call
+//! graph from the declared pipeline entry points and reports every panic
+//! site on a reachable path (with the shortest chain, so the report reads
+//! `entry → … → site`), [`determinism`] propagates wall-clock, unseeded-RNG
+//! and hash-iteration taint backwards from the declared artifact-renderer
+//! sinks, and [`dead_pub`] flags `pub` items no other crate references.
+//! All three honour `lint:allow` pragmas on the site line and the
+//! severity overrides in `lint.toml`.
+
+pub mod dead_pub;
+pub mod determinism;
+pub mod panic_reach;
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::items::FileItems;
+use crate::rules::{self, Finding};
+use crate::scrub::ScrubbedSource;
+use std::collections::BTreeMap;
+
+/// One scrubbed-and-collected source file, the unit the analyses consume.
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// The scrubbed views.
+    pub src: ScrubbedSource,
+    /// Collected functions and `pub` items.
+    pub items: FileItems,
+}
+
+/// Run every interprocedural analysis. `files` must be sorted by path
+/// (the engine guarantees it), so node ids — and therefore chains and
+/// finding order — are deterministic.
+pub fn run(files: &[SourceFile], cfg: &Config) -> Result<Vec<Finding>, String> {
+    let collected: Vec<(String, FileItems)> = files
+        .iter()
+        .map(|f| (f.path.clone(), f.items.clone()))
+        .collect();
+    let graph = CallGraph::build(&collected);
+    let allows: BTreeMap<&str, Vec<rules::Allow>> = files
+        .iter()
+        .map(|f| (f.path.as_str(), rules::file_allows(&f.path, &f.src, cfg)))
+        .collect();
+
+    let mut findings = Vec::new();
+    findings.extend(panic_reach::run(&graph, cfg, &allows)?);
+    findings.extend(determinism::run(&graph, cfg, &allows));
+    findings.extend(dead_pub::run(files, cfg, &allows));
+    Ok(findings)
+}
+
+/// Is `path` a tests/benches/examples file (exempt from the analyses)?
+pub(crate) fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.starts_with("benches/")
+}
+
+/// Is the site at `line0` suppressed by a justified pragma for any of
+/// `rule_ids` in this file?
+pub(crate) fn site_allowed(
+    allows: &BTreeMap<&str, Vec<rules::Allow>>,
+    path: &str,
+    line0: usize,
+    rule_ids: &[&str],
+) -> bool {
+    allows.get(path).is_some_and(|list| {
+        list.iter()
+            .any(|a| rule_ids.iter().any(|r| a.covers(line0, r)))
+    })
+}

@@ -1,0 +1,243 @@
+//! The ratcheting baseline: known findings are allowed, but the set can
+//! only shrink.
+//!
+//! Interprocedural analyses surface real debt (panic sites in the
+//! mechanism crates reachable from `dynamips run`) that cannot all be
+//! paid down in one PR. The checked-in `lint-baseline.json` names that
+//! debt as `(path, rule) → count` entries: matching findings are
+//! suppressed, a finding *beyond* its entry's count is new and fails the
+//! run, and an entry that over-counts — the debt was paid but the
+//! baseline not updated — produces a deny-severity [`STALE_BASELINE`]
+//! finding. Both directions fail CI, so the file tracks reality exactly
+//! and every change to it goes through review. Counts are keyed on
+//! `(path, rule)` rather than line numbers or call chains so unrelated
+//! edits (a shifted line, a renamed intermediate caller) do not churn the
+//! file.
+//!
+//! Regenerate with `dynamips-lint --write-baseline` — and diff before
+//! committing: the only legitimate growth is a reviewed decision to take
+//! on new, named debt.
+
+use crate::config::Severity;
+use crate::report;
+use crate::rules::{Finding, STALE_BASELINE};
+use std::collections::BTreeMap;
+
+/// Schema tag of the baseline document.
+pub const BASELINE_SCHEMA: &str = "dynamips-lint-baseline-v1";
+
+/// File name the engine auto-loads from the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Parsed baseline: `(path, rule) → allowed count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed finding counts per `(path, rule)`.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// Outcome of applying a baseline to a finding list.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings that survive: new findings plus stale-baseline findings.
+    pub kept: Vec<Finding>,
+    /// How many findings the baseline suppressed.
+    pub suppressed: usize,
+}
+
+impl Baseline {
+    /// Build a baseline that exactly covers `findings` (stale-baseline
+    /// findings themselves are never baselined — that would defeat the
+    /// ratchet).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            if f.rule == STALE_BASELINE.id {
+                continue;
+            }
+            *entries.entry((f.path.clone(), f.rule.clone())).or_default() += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serialize as the `dynamips-lint-baseline-v1` JSON document
+    /// (deterministic: entries sorted by path, then rule).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let total: usize = self.entries.values().sum();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",");
+        let _ = writeln!(out, "  \"total\": {total},");
+        out.push_str("  \"entries\": [\n");
+        for (i, ((path, rule), count)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"path\": \"{}\", \"rule\": \"{}\", \"count\": {count}}}{comma}",
+                report::escape(path),
+                report::escape(rule),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`Baseline::to_json`].
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        let schema = report::field(json, "schema").ok_or("baseline: missing schema")?;
+        if schema != BASELINE_SCHEMA {
+            return Err(format!("baseline: unknown schema {schema:?}"));
+        }
+        let start = json
+            .find("\"entries\": [")
+            .ok_or("baseline: missing entries")?
+            + "\"entries\": [".len();
+        let body = &json[start..];
+        let end = body.rfind(']').ok_or("baseline: unterminated entries")?;
+        let mut entries = BTreeMap::new();
+        for obj in body[..end].split("\n    {").skip(1) {
+            let path = report::field(obj, "path").ok_or("baseline: entry missing path")?;
+            let rule = report::field(obj, "rule").ok_or("baseline: entry missing rule")?;
+            let count: usize = report::field_raw(obj, "count")
+                .ok_or("baseline: entry missing count")?
+                .parse()
+                .map_err(|e| format!("baseline: bad count: {e}"))?;
+            if count == 0 {
+                return Err(format!(
+                    "baseline: zero-count entry for {path}|{rule}; delete it instead"
+                ));
+            }
+            if entries
+                .insert((path.clone(), rule.clone()), count)
+                .is_some()
+            {
+                return Err(format!("baseline: duplicate entry for {path}|{rule}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Apply the ratchet: suppress up to the allowed count per
+    /// `(path, rule)`, keep the excess as new findings, and emit a
+    /// deny-severity stale-baseline finding for every entry the current
+    /// run no longer justifies. `findings` must be sorted (the engine
+    /// sorts by path/line/rule), so which occurrences are suppressed is
+    /// deterministic: the first `count` in file order.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut remaining = self.entries.clone();
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            match remaining.get_mut(&(f.path.clone(), f.rule.clone())) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    suppressed += 1;
+                }
+                _ => kept.push(f),
+            }
+        }
+        for ((path, rule), left) in remaining {
+            if left > 0 {
+                kept.push(Finding {
+                    path: BASELINE_FILE.to_string(),
+                    line: 1,
+                    rule: STALE_BASELINE.id.to_string(),
+                    severity: Severity::Deny,
+                    message: format!(
+                        "baseline allows {left} more {rule:?} finding(s) in {path:?} than currently fire; shrink the baseline (dynamips-lint --write-baseline)"
+                    ),
+                });
+            }
+        }
+        kept.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.path.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        Applied { kept, suppressed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: usize, rule: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            severity: Severity::Deny,
+            message: format!("{rule} at {path}:{line}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_is_deterministic() {
+        let fs = vec![
+            finding("b.rs", 3, "panic-reach"),
+            finding("a.rs", 1, "dead-pub"),
+            finding("b.rs", 9, "panic-reach"),
+        ];
+        let base = Baseline::from_findings(&fs);
+        let json = base.to_json();
+        assert!(json.contains(BASELINE_SCHEMA));
+        assert!(json.contains("\"total\": 3"));
+        assert_eq!(Baseline::parse(&json).expect("parses"), base);
+    }
+
+    #[test]
+    fn exact_match_suppresses_everything() {
+        let fs = vec![
+            finding("a.rs", 1, "panic-reach"),
+            finding("a.rs", 5, "panic-reach"),
+        ];
+        let base = Baseline::from_findings(&fs);
+        let applied = base.apply(fs);
+        assert!(applied.kept.is_empty(), "{:#?}", applied.kept);
+        assert_eq!(applied.suppressed, 2);
+    }
+
+    #[test]
+    fn excess_findings_survive_the_ratchet() {
+        let base = Baseline::from_findings(&[finding("a.rs", 1, "panic-reach")]);
+        let applied = base.apply(vec![
+            finding("a.rs", 1, "panic-reach"),
+            finding("a.rs", 9, "panic-reach"),
+        ]);
+        assert_eq!(applied.suppressed, 1);
+        assert_eq!(applied.kept.len(), 1);
+        assert_eq!(applied.kept[0].line, 9, "first occurrence is baselined");
+    }
+
+    #[test]
+    fn stale_entries_fail_loudly() {
+        let base = Baseline::from_findings(&[
+            finding("a.rs", 1, "panic-reach"),
+            finding("gone.rs", 2, "dead-pub"),
+        ]);
+        let applied = base.apply(vec![finding("a.rs", 1, "panic-reach")]);
+        assert_eq!(applied.kept.len(), 1, "{:#?}", applied.kept);
+        assert_eq!(applied.kept[0].rule, "stale-baseline");
+        assert_eq!(applied.kept[0].severity, Severity::Deny);
+        assert!(applied.kept[0].message.contains("gone.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::parse("{}").is_err());
+        let zero = "{\n  \"schema\": \"dynamips-lint-baseline-v1\",\n  \"total\": 0,\n  \"entries\": [\n    {\"path\": \"a\", \"rule\": \"r\", \"count\": 0}\n  ]\n}\n";
+        assert!(Baseline::parse(zero)
+            .expect_err("zero")
+            .contains("zero-count"));
+    }
+
+    #[test]
+    fn empty_baseline_is_a_noop() {
+        let applied = Baseline::default().apply(vec![finding("a.rs", 1, "panic-reach")]);
+        assert_eq!(applied.kept.len(), 1);
+        assert_eq!(applied.suppressed, 0);
+    }
+}

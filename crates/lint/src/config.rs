@@ -59,6 +59,14 @@ pub struct Config {
     pub exit_allowed: Vec<String>,
     /// Files allowed to print (binary entry points).
     pub print_allowed: Vec<String>,
+    /// Pipeline entry points for panic-reachability, as `(file, fn-name)`
+    /// pairs parsed from `"path/to/file.rs::fn_name"` declarations.
+    pub entry_points: Vec<(String, String)>,
+    /// Files whose functions are artifact-renderer sinks for the
+    /// determinism-taint analysis.
+    pub sinks: Vec<String>,
+    /// Path prefixes whose `pub` items the dead-pub analysis audits.
+    pub dead_pub: Vec<String>,
     /// Per-rule severity overrides.
     pub severity: BTreeMap<String, Severity>,
 }
@@ -127,6 +135,21 @@ impl Config {
                 )),
             };
         }
+        if section == "interprocedural" && key == "entry-points" {
+            let entries = parse_string_array(value).ok_or_else(|| {
+                format!("lint.toml:{lineno}: entry-points must be an array of strings")
+            })?;
+            self.entry_points.clear();
+            for e in entries {
+                let Some((file, name)) = e.rsplit_once("::") else {
+                    return Err(format!(
+                        "lint.toml:{lineno}: entry point {e:?} must be \"path/to/file.rs::fn_name\""
+                    ));
+                };
+                self.entry_points.push((file.to_string(), name.to_string()));
+            }
+            return Ok(());
+        }
         let target = match (section, key) {
             ("paths", "skip") => &mut self.skip,
             ("paths", "render") => &mut self.render_paths,
@@ -135,6 +158,8 @@ impl Config {
             ("paths", "ingest") => &mut self.ingest_paths,
             ("paths", "exit-allowed") => &mut self.exit_allowed,
             ("paths", "print-allowed") => &mut self.print_allowed,
+            ("interprocedural", "sinks") => &mut self.sinks,
+            ("interprocedural", "dead-pub") => &mut self.dead_pub,
             _ => {
                 return Err(format!(
                     "lint.toml:{lineno}: unknown key {key:?} in section [{section}]"
@@ -216,6 +241,26 @@ mod tests {
             cfg.severity_of("wall-clock", Severity::Deny),
             Severity::Deny
         );
+    }
+
+    #[test]
+    fn parses_interprocedural_section() {
+        let cfg = Config::parse(
+            "[interprocedural]\nentry-points = [\"crates/experiments/src/main.rs::main\"]\nsinks = [\"crates/core/src/report.rs\"]\ndead-pub = [\"crates/core/src\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            cfg.entry_points,
+            vec![(
+                "crates/experiments/src/main.rs".to_string(),
+                "main".to_string()
+            )]
+        );
+        assert_eq!(cfg.sinks, vec!["crates/core/src/report.rs"]);
+        assert_eq!(cfg.dead_pub, vec!["crates/core/src"]);
+        let err = Config::parse("[interprocedural]\nentry-points = [\"no-separator\"]\n")
+            .expect_err("entry point without ::");
+        assert!(err.contains("no-separator"), "{err}");
     }
 
     #[test]

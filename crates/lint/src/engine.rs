@@ -3,11 +3,18 @@
 //! The engine walks every `.rs` file and every `Cargo.toml` under the
 //! workspace root (deterministically: directory entries are sorted, the
 //! configured skip list plus `target/` and dot-directories are pruned),
-//! scrubs each source file, runs the rule set, and returns findings
+//! scrubs each source file, runs the per-file rule set, then feeds the
+//! collected items into the interprocedural analyses (call-graph
+//! panic-reachability, determinism taint, dead-pub). Findings come back
 //! sorted by `(path, line, rule)` so output is stable across platforms
-//! and thread counts.
+//! and thread counts. [`lint_workspace_with_overrides`] lets tests
+//! replace individual file contents in memory — that is how the
+//! injected-fault meta-tests prove a transitive panic or a tainted
+//! helper is caught under the real workspace configuration.
 
+use crate::analyses::{self, SourceFile};
 use crate::config::{Config, Severity};
+use crate::items;
 use crate::rules::{self, Finding};
 use crate::scrub;
 use std::path::{Path, PathBuf};
@@ -25,20 +32,58 @@ pub fn lint_path_content(rel_path: &str, content: &str, cfg: &Config) -> Vec<Fin
     }
 }
 
-/// Walk `root` and lint the whole workspace. Returns findings sorted by
+/// Walk `root` and lint the whole workspace: per-file rules plus the
+/// interprocedural analyses. Returns findings sorted by
 /// `(path, line, rule)`. I/O problems are reported as strings (path +
 /// error) rather than panics.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    lint_workspace_with_overrides(root, cfg, &[])
+}
+
+/// [`lint_workspace`], but with some file contents replaced in memory.
+/// `overrides` maps workspace-relative paths to replacement text; a path
+/// that does not exist on disk is linted as a new file. This is the
+/// fault-injection surface for the meta-tests: inject a transitive panic
+/// or a tainted helper into real modules without touching the tree.
+pub fn lint_workspace_with_overrides(
+    root: &Path,
+    cfg: &Config,
+    overrides: &[(String, String)],
+) -> Result<Vec<Finding>, String> {
     let mut files = Vec::new();
     collect_files(root, root, cfg, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for rel in &files {
-        let full = root.join(rel);
-        let content =
-            std::fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))?;
-        findings.extend(lint_path_content(rel, &content, cfg));
+    for (rel, _) in overrides {
+        if !files.contains(rel) && !Config::path_in(rel, &cfg.skip) {
+            files.push(rel.clone());
+        }
     }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    let mut sources: Vec<SourceFile> = Vec::new();
+    for rel in &files {
+        let content = match overrides.iter().find(|(p, _)| p == rel) {
+            Some((_, text)) => text.clone(),
+            None => {
+                let full = root.join(rel);
+                std::fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))?
+            }
+        };
+        if rel.ends_with("Cargo.toml") {
+            findings.extend(rules::lint_manifest(rel, &content, cfg));
+        } else if rel.ends_with(".rs") {
+            let src = scrub::scrub(&content);
+            findings.extend(rules::lint_rust(rel, &src, cfg));
+            let collected = items::collect_items(&src);
+            sources.push(SourceFile {
+                path: rel.clone(),
+                src,
+                items: collected,
+            });
+        }
+    }
+    findings.extend(analyses::run(&sources, cfg)?);
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule.as_str()).cmp(&(b.path.as_str(), b.line, b.rule.as_str()))
     });

@@ -1,0 +1,681 @@
+//! Item collector: from scrubbed source to functions, call sites, and
+//! `pub` items — the inputs of the interprocedural analyses.
+//!
+//! Like [`crate::scrub`], this deliberately does not parse Rust (no
+//! `syn`; the build is offline). A single token pass over the scrubbed
+//! code view tracks a brace-scope stack (`mod` / `impl` / `fn` / plain
+//! block), which is enough to attribute every call site, panic site, and
+//! nondeterminism source to the function whose body contains it, and to
+//! give each function a qualified name (`module::Type::name`) for
+//! readable call chains. The collector is forgiving by construction:
+//! malformed nesting degrades to misattribution, never to a panic,
+//! because the linter must not be the thing that aborts CI.
+
+use crate::scrub::ScrubbedSource;
+
+/// A call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment).
+    pub name: String,
+    /// Qualifying path segments before the name (`engine::run` → `["engine"]`),
+    /// with leading `crate`/`self`/`super` dropped. Empty for bare calls.
+    pub qual: Vec<String>,
+    /// `true` for `.name(…)` receiver calls — resolved against methods only.
+    pub method: bool,
+    /// 0-based line of the call.
+    pub line: usize,
+}
+
+/// A potentially panicking expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// What panics: `panic!`, `unwrap`, `expect`, `index`, ….
+    pub token: String,
+    /// 0-based line of the site.
+    pub line: usize,
+}
+
+/// A nondeterminism source category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// `Instant::now` / `SystemTime::now`.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng`.
+    UnseededRng,
+    /// `HashMap` / `HashSet` mention — iteration order is unstable.
+    HashOrder,
+}
+
+impl TaintKind {
+    /// Human label for report messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaintKind::WallClock => "wall-clock",
+            TaintKind::UnseededRng => "unseeded-rng",
+            TaintKind::HashOrder => "hash-order",
+        }
+    }
+}
+
+/// A nondeterminism source inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSite {
+    /// Source category.
+    pub kind: TaintKind,
+    /// The offending token, for the report message.
+    pub token: String,
+    /// 0-based line of the site.
+    pub line: usize,
+}
+
+/// One `fn` definition with everything the analyses need to know.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name.
+    pub name: String,
+    /// Qualified name within the file: `mod::Type::name` (no crate prefix;
+    /// the file path supplies that context in reports).
+    pub qual_name: String,
+    /// 0-based line of the `fn` keyword.
+    pub def_line: usize,
+    /// `true` if declared `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// `true` if defined inside an `impl` block (candidate for `.x()` calls).
+    pub is_method: bool,
+    /// `true` if the definition sits in a `#[cfg(test)]` span.
+    pub is_test: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Nondeterminism sources in the body.
+    pub taints: Vec<TaintSite>,
+}
+
+/// A `pub` item (any kind) at module scope, for the dead-pub analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubItem {
+    /// Item name.
+    pub name: String,
+    /// Item kind keyword (`fn`, `struct`, `enum`, …).
+    pub kind: String,
+    /// 0-based line of the declaring keyword.
+    pub line: usize,
+}
+
+/// Everything collected from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Function definitions in file order.
+    pub fns: Vec<FnItem>,
+    /// `pub` items at module scope (including `pub fn`).
+    pub pubs: Vec<PubItem>,
+}
+
+/// One lexical token of the scrubbed code view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+/// Token plus its byte offset and 0-based line.
+struct Spanned {
+    tok: Tok,
+    /// Byte offset of the token start in the scrubbed code.
+    off: usize,
+    /// Byte offset one past the token end.
+    end: usize,
+    line: usize,
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "as", "use", "pub", "mod", "impl", "trait", "struct", "enum",
+    "type", "const", "static", "where", "unsafe", "dyn", "async", "await", "self", "Self", "super",
+    "crate", "true", "false",
+];
+
+/// Macros whose expansion aborts the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods that panic on the `None`/`Err` arm.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+fn lex(code: &str) -> Vec<Spanned> {
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut chars = code.char_indices().peekable();
+    while let Some(&(off, c)) = chars.peek() {
+        if c == '\n' {
+            line += 1;
+            chars.next();
+        } else if c.is_whitespace() {
+            chars.next();
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut end = off;
+            let mut word = String::new();
+            while let Some(&(o, ch)) = chars.peek() {
+                if ch.is_alphanumeric() || ch == '_' {
+                    word.push(ch);
+                    end = o + ch.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(word),
+                off,
+                end,
+                line,
+            });
+        } else {
+            chars.next();
+            out.push(Spanned {
+                tok: Tok::Punct(c),
+                off,
+                end: off + c.len_utf8(),
+                line,
+            });
+        }
+    }
+    out
+}
+
+/// What kind of brace scope we are inside.
+#[derive(Debug, Clone)]
+enum Scope {
+    Mod(String),
+    Impl(String),
+    /// Index into `FileItems::fns`.
+    Fn(usize),
+    Block,
+}
+
+/// A declaration seen but whose `{` has not arrived yet.
+#[derive(Debug, Clone)]
+enum Pending {
+    Mod(String),
+    Impl(String),
+    Fn {
+        name: String,
+        is_pub: bool,
+        line: usize,
+    },
+    None,
+}
+
+/// Collect the functions and `pub` items of one scrubbed file.
+pub fn collect_items(src: &ScrubbedSource) -> FileItems {
+    let toks = lex(&src.code);
+    let mut items = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending = Pending::None;
+    // `pub` visibility applies to the next item keyword; `pub(crate)` and
+    // friends are not externally visible and are recorded as not-pub.
+    let mut pub_pending = false;
+    let mut pub_restricted = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Ident(w) => match w.as_str() {
+                "pub" => {
+                    pub_pending = true;
+                    pub_restricted = matches!(toks.get(i + 1), Some(s) if s.tok == Tok::Punct('('));
+                    if pub_restricted {
+                        // Skip the `(crate)` / `(super)` / `(in path)` group.
+                        let mut depth = 0usize;
+                        let mut j = i + 1;
+                        while j < toks.len() {
+                            match toks[j].tok {
+                                Tok::Punct('(') => depth += 1,
+                                Tok::Punct(')') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                    }
+                }
+                "mod" => {
+                    if let Some(Spanned {
+                        tok: Tok::Ident(name),
+                        ..
+                    }) = toks.get(i + 1)
+                    {
+                        if at_item_scope(&scopes) && pub_pending && !pub_restricted {
+                            items.pubs.push(PubItem {
+                                name: name.clone(),
+                                kind: "mod".into(),
+                                line: t.line,
+                            });
+                        }
+                        pending = Pending::Mod(name.clone());
+                        i += 1;
+                    }
+                    pub_pending = false;
+                }
+                "impl" => {
+                    let (ty, consumed) = impl_type_name(&toks, i + 1);
+                    pending = Pending::Impl(ty);
+                    i = consumed;
+                    pub_pending = false;
+                }
+                "fn" => {
+                    if let Some(Spanned {
+                        tok: Tok::Ident(name),
+                        ..
+                    }) = toks.get(i + 1)
+                    {
+                        if at_item_scope(&scopes) && pub_pending && !pub_restricted {
+                            items.pubs.push(PubItem {
+                                name: name.clone(),
+                                kind: "fn".into(),
+                                line: t.line,
+                            });
+                        }
+                        pending = Pending::Fn {
+                            name: name.clone(),
+                            is_pub: pub_pending && !pub_restricted,
+                            line: t.line,
+                        };
+                        i += 1;
+                    }
+                    pub_pending = false;
+                }
+                "struct" | "enum" | "trait" | "type" | "const" | "static" | "union" => {
+                    if at_item_scope(&scopes) && pub_pending && !pub_restricted {
+                        if let Some(Spanned {
+                            tok: Tok::Ident(name),
+                            ..
+                        }) = toks.get(i + 1)
+                        {
+                            items.pubs.push(PubItem {
+                                name: name.clone(),
+                                kind: w.clone(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                    pub_pending = false;
+                }
+                _ => {
+                    // Any other ident consumes a pending `pub`: it is a
+                    // field or binding name (`pub artifacts: …`), not an
+                    // item — except the qualifiers that may sit between
+                    // `pub` and the item keyword.
+                    if !matches!(w.as_str(), "async" | "unsafe" | "extern") {
+                        pub_pending = false;
+                    }
+                    // Inside a function body, classify call/panic/taint sites.
+                    if let Some(fn_idx) = innermost_fn(&scopes) {
+                        classify_body_token(&toks, i, fn_idx, &mut items);
+                    }
+                }
+            },
+            Tok::Punct('{') => {
+                let scope = match std::mem::replace(&mut pending, Pending::None) {
+                    Pending::Mod(name) => Scope::Mod(name),
+                    Pending::Impl(ty) => Scope::Impl(ty),
+                    Pending::Fn { name, is_pub, line } => {
+                        let qual_name = qualified_name(&scopes, &name);
+                        let is_method = scopes.iter().any(|s| matches!(s, Scope::Impl(_)));
+                        items.fns.push(FnItem {
+                            name,
+                            qual_name,
+                            def_line: line,
+                            is_pub,
+                            is_method,
+                            is_test: src.is_test_line(line),
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                            taints: Vec::new(),
+                        });
+                        Scope::Fn(items.fns.len() - 1)
+                    }
+                    Pending::None => Scope::Block,
+                };
+                scopes.push(scope);
+                pub_pending = false;
+            }
+            Tok::Punct('}') => {
+                scopes.pop();
+                pending = Pending::None;
+                pub_pending = false;
+            }
+            Tok::Punct(';') => {
+                // Trait method declarations and `mod name;` have no body.
+                pending = Pending::None;
+                pub_pending = false;
+            }
+            Tok::Punct('[') => {
+                // Direct index expression: `x[`, `)[`, `][` with byte
+                // adjacency. `vec![` (prev `!`) and `#[` (prev `#`) do not
+                // qualify because their previous token is punctuation.
+                if let Some(fn_idx) = innermost_fn(&scopes) {
+                    if i > 0 {
+                        let prev = &toks[i - 1];
+                        let adjacent = prev.end == t.off;
+                        let indexable = matches!(&prev.tok, Tok::Ident(_))
+                            || prev.tok == Tok::Punct(')')
+                            || prev.tok == Tok::Punct(']');
+                        let prev_is_keyword =
+                            matches!(&prev.tok, Tok::Ident(w) if KEYWORDS.contains(&w.as_str()));
+                        if adjacent && indexable && !prev_is_keyword {
+                            items.fns[fn_idx].panics.push(PanicSite {
+                                token: "index".into(),
+                                line: t.line,
+                            });
+                        }
+                    }
+                }
+            }
+            Tok::Punct(_) => {}
+        }
+        i += 1;
+    }
+    items
+}
+
+/// Are we at a scope where `pub` items are collected (module/impl level,
+/// not inside a function body)?
+fn at_item_scope(scopes: &[Scope]) -> bool {
+    !scopes.iter().any(|s| matches!(s, Scope::Fn(_)))
+}
+
+/// Innermost enclosing function, if any.
+fn innermost_fn(scopes: &[Scope]) -> Option<usize> {
+    scopes.iter().rev().find_map(|s| match s {
+        Scope::Fn(idx) => Some(*idx),
+        _ => None,
+    })
+}
+
+/// `mod::Type::name` from the scope stack.
+fn qualified_name(scopes: &[Scope], name: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for s in scopes {
+        match s {
+            Scope::Mod(m) => parts.push(m),
+            Scope::Impl(t) => parts.push(t),
+            _ => {}
+        }
+    }
+    parts.push(name);
+    parts.join("::")
+}
+
+/// Parse the self-type name of an `impl` header starting at `from`;
+/// returns `(type_name, index_of_last_consumed_token)`. For
+/// `impl Trait for Type` the type after `for` wins; generic parameters and
+/// lifetimes are skipped.
+fn impl_type_name(toks: &[Spanned], from: usize) -> (String, usize) {
+    let mut angle = 0isize;
+    let mut ty = String::new();
+    let mut after_for = false;
+    let mut j = from;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('{') | Tok::Punct(';') => return (ty, j.saturating_sub(1)),
+            Tok::Ident(w) if angle == 0 => {
+                if w == "for" {
+                    after_for = true;
+                    ty.clear();
+                } else if w == "where" {
+                    // Type name is settled; scan on to the `{`.
+                } else if ty.is_empty() || after_for {
+                    // Skip lifetime idents (preceded by `'`).
+                    let is_lifetime = j > 0 && toks[j - 1].tok == Tok::Punct('\'');
+                    if !is_lifetime {
+                        ty = w.clone();
+                        after_for = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (ty, j.saturating_sub(1))
+}
+
+/// Classify the ident at `i` inside a function body: call site, panic
+/// macro, panicking method, or nondeterminism source.
+fn classify_body_token(toks: &[Spanned], i: usize, fn_idx: usize, items: &mut FileItems) {
+    let (word, line) = match &toks[i].tok {
+        Tok::Ident(w) => (w.as_str(), toks[i].line),
+        _ => return,
+    };
+    let next = toks.get(i + 1).map(|s| &s.tok);
+    let prev = i.checked_sub(1).map(|p| &toks[p].tok);
+    let f = &mut items.fns[fn_idx];
+
+    // Nondeterminism sources that need no call syntax.
+    match word {
+        "OsRng" => f.taints.push(TaintSite {
+            kind: TaintKind::UnseededRng,
+            token: "OsRng".into(),
+            line,
+        }),
+        "HashMap" | "HashSet" => f.taints.push(TaintSite {
+            kind: TaintKind::HashOrder,
+            token: word.into(),
+            line,
+        }),
+        _ => {}
+    }
+
+    // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+    if next == Some(&Tok::Punct('!')) {
+        let opens = matches!(
+            toks.get(i + 2).map(|s| &s.tok),
+            Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('{'))
+        );
+        if opens && PANIC_MACROS.contains(&word) {
+            f.panics.push(PanicSite {
+                token: format!("{word}!"),
+                line,
+            });
+        }
+        return;
+    }
+
+    // Call expression: `name(…)`.
+    if next != Some(&Tok::Punct('(')) {
+        return;
+    }
+    if KEYWORDS.contains(&word) {
+        return;
+    }
+    let is_method_call = prev == Some(&Tok::Punct('.'));
+    if is_method_call && PANIC_METHODS.contains(&word) {
+        f.panics.push(PanicSite {
+            token: word.into(),
+            line,
+        });
+        return;
+    }
+
+    // Qualifying path: walk back over `seg::seg::…::name`.
+    let mut qual: Vec<String> = Vec::new();
+    if !is_method_call {
+        let mut j = i;
+        while j >= 2 && toks[j - 1].tok == Tok::Punct(':') && toks[j - 2].tok == Tok::Punct(':') {
+            if j >= 3 {
+                if let Tok::Ident(seg) = &toks[j - 3].tok {
+                    qual.insert(0, seg.clone());
+                    j -= 3;
+                    continue;
+                }
+                // A `<T>::name(…)` or `>::name(…)` qualified call: give up
+                // on the path but keep the call.
+            }
+            break;
+        }
+        while matches!(
+            qual.first().map(String::as_str),
+            Some("crate")
+                | Some("self")
+                | Some("super")
+                | Some("std")
+                | Some("core")
+                | Some("alloc")
+        ) {
+            // `std::`/`core::` prefixes mark external calls we will not
+            // resolve anyway, but the tail may still coincide with a
+            // workspace name — keep the discriminating segments only.
+            qual.remove(0);
+        }
+    }
+
+    // Wall-clock sources are qualified calls: `Instant::now`, `SystemTime::now`.
+    if word == "now"
+        && matches!(
+            qual.last().map(String::as_str),
+            Some("Instant") | Some("SystemTime")
+        )
+    {
+        f.taints.push(TaintSite {
+            kind: TaintKind::WallClock,
+            token: format!("{}::now", qual.last().map(String::as_str).unwrap_or("")),
+            line,
+        });
+        return;
+    }
+    if word == "thread_rng" || word == "from_entropy" {
+        f.taints.push(TaintSite {
+            kind: TaintKind::UnseededRng,
+            token: word.into(),
+            line,
+        });
+        return;
+    }
+
+    f.calls.push(CallSite {
+        name: word.to_string(),
+        qual,
+        method: is_method_call,
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn collect(src: &str) -> FileItems {
+        collect_items(&scrub(src))
+    }
+
+    #[test]
+    fn fns_methods_and_qualified_names() {
+        let items = collect(
+            "pub fn free() {}\nmod inner {\n    pub struct T;\n    impl T {\n        pub fn method(&self) {}\n    }\n}\n",
+        );
+        assert_eq!(items.fns.len(), 2);
+        assert_eq!(items.fns[0].qual_name, "free");
+        assert!(!items.fns[0].is_method);
+        assert!(items.fns[0].is_pub);
+        assert_eq!(items.fns[1].qual_name, "inner::T::method");
+        assert!(items.fns[1].is_method);
+    }
+
+    #[test]
+    fn call_sites_with_quals_and_methods() {
+        let items = collect(
+            "fn f() {\n    helper();\n    engine::run(1);\n    x.compute();\n    std::mem::drop(x);\n}\n",
+        );
+        let calls = &items.fns[0].calls;
+        assert_eq!(calls.len(), 4, "{calls:?}");
+        assert_eq!(calls[0].name, "helper");
+        assert!(calls[0].qual.is_empty());
+        assert_eq!(calls[1].name, "run");
+        assert_eq!(calls[1].qual, vec!["engine"]);
+        assert!(calls[2].method);
+        assert_eq!(calls[3].name, "drop");
+        assert_eq!(calls[3].qual, vec!["mem"]);
+    }
+
+    #[test]
+    fn panic_sites_macros_methods_and_indexing() {
+        let items = collect(
+            "fn f(v: &[u8], o: Option<u8>) -> u8 {\n    if v.is_empty() { panic!(\"empty\"); }\n    let a = o.unwrap();\n    let b = o.expect(\"x\");\n    let c = v[0];\n    let ok = vec![1];\n    let d = o.unwrap_or(0);\n    a + b + c + d + ok.len() as u8\n}\n",
+        );
+        let tokens: Vec<&str> = items.fns[0]
+            .panics
+            .iter()
+            .map(|p| p.token.as_str())
+            .collect();
+        assert_eq!(tokens, vec!["panic!", "unwrap", "expect", "index"]);
+    }
+
+    #[test]
+    fn taint_sites_collected() {
+        let items = collect(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let r = rand::thread_rng();\n    let m: HashMap<u8, u8> = HashMap::new();\n    let _ = (t, r, m);\n}\n",
+        );
+        let kinds: Vec<TaintKind> = items.fns[0].taints.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TaintKind::WallClock));
+        assert!(kinds.contains(&TaintKind::UnseededRng));
+        assert!(kinds.contains(&TaintKind::HashOrder));
+    }
+
+    #[test]
+    fn pub_items_and_restricted_visibility() {
+        let items = collect(
+            "pub struct S;\npub(crate) struct Hidden;\npub enum E { A }\npub const N: u8 = 1;\npub fn f() {}\nfn private() {}\n",
+        );
+        let names: Vec<&str> = items.pubs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["S", "E", "N", "f"]);
+    }
+
+    #[test]
+    fn pub_fields_do_not_leak_onto_following_items() {
+        // `pub` on a struct field must not mark the next item as pub:
+        // here a private fn and a private const follow structs whose last
+        // field is `pub`.
+        let items = collect(
+            "pub struct S {\n    pub field: u8,\n}\n\nfn private_after_struct() {}\n\npub struct D {\n    pub day: u8,\n}\n\nconst SECRET: u8 = 3;\n",
+        );
+        let names: Vec<&str> = items.pubs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["S", "D"]);
+        assert!(!items.fns[0].is_pub);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let items = collect(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n",
+        );
+        assert_eq!(items.fns.len(), 2);
+        assert!(!items.fns[0].is_test);
+        assert!(items.fns[1].is_test);
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_not_fns() {
+        let items = collect("trait T {\n    fn decl(&self);\n    fn with_default(&self) {}\n}\n");
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let items =
+            collect("impl<'a, T> Display for Wrapper<'a, T> {\n    fn fmt(&self) -> u8 { 0 }\n}\n");
+        assert_eq!(items.fns[0].qual_name, "Wrapper::fmt");
+    }
+}

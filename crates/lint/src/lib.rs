@@ -20,15 +20,22 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod analyses;
+pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod engine;
+pub mod items;
 pub mod report;
 pub mod rules;
 pub mod scrub;
 
+pub use baseline::{Baseline, BASELINE_FILE, BASELINE_SCHEMA};
 pub use config::{Config, Severity};
-pub use engine::{deny_count, find_root, lint_path_content, lint_workspace};
-pub use report::{parse_json, render_text, to_json, LINT_SCHEMA};
+pub use engine::{
+    deny_count, find_root, lint_path_content, lint_workspace, lint_workspace_with_overrides,
+};
+pub use report::{parse_json, render_text, to_json, to_sarif, LINT_SCHEMA};
 pub use rules::{Finding, Rule, ALL_RULES};
 
 /// Output format for [`run`].
@@ -38,6 +45,20 @@ pub enum Format {
     Text,
     /// The `dynamips-lint-v1` JSON document.
     Json,
+    /// A SARIF 2.1.0 log for standard annotation tooling.
+    Sarif,
+}
+
+impl Format {
+    /// Parse a `--format` operand.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "sarif" => Some(Format::Sarif),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of a whole-workspace lint run, ready for a CLI to print.
@@ -46,24 +67,57 @@ pub struct RunOutcome {
     pub report: String,
     /// Number of deny-severity findings; nonzero means the run failed.
     pub denies: usize,
+    /// Findings suppressed by the baseline ratchet.
+    pub baselined: usize,
 }
 
 /// Lint the workspace at `root` with the given `lint.toml` text, in one
-/// call usable from both binaries. Errors are configuration or I/O
+/// call usable from both binaries. When `use_baseline` is set and a
+/// `lint-baseline.json` exists at `root`, the ratchet is applied: known
+/// findings are suppressed, excess findings survive, and stale entries
+/// become deny-severity findings. Errors are configuration or I/O
 /// problems (usage-class failures), distinct from findings.
 pub fn run(
     root: &std::path::Path,
     config_text: &str,
     format: Format,
+    use_baseline: bool,
 ) -> Result<RunOutcome, String> {
     let cfg = Config::parse(config_text)?;
     let findings = lint_workspace(root, &cfg)?;
-    let report = match format {
+    let (findings, baselined) = match load_baseline(root, use_baseline)? {
+        Some(base) => {
+            let applied = base.apply(findings);
+            (applied.kept, applied.suppressed)
+        }
+        None => (findings, 0),
+    };
+    let mut report = match format {
         Format::Text => render_text(&findings),
         Format::Json => to_json(&findings),
+        Format::Sarif => to_sarif(&findings),
     };
+    if format == Format::Text && baselined > 0 {
+        report.push_str(&format!(
+            "lint: {baselined} known finding(s) suppressed by {BASELINE_FILE}\n"
+        ));
+    }
     Ok(RunOutcome {
         report,
         denies: deny_count(&findings),
+        baselined,
     })
+}
+
+/// Read `<root>/lint-baseline.json` if present (and wanted).
+fn load_baseline(root: &std::path::Path, use_baseline: bool) -> Result<Option<Baseline>, String> {
+    if !use_baseline {
+        return Ok(None);
+    }
+    let path = root.join(BASELINE_FILE);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Baseline::parse(&text).map(Some)
 }

@@ -1,13 +1,14 @@
 //! `dynamips-lint` — standalone workspace invariant checker.
 //!
 //! ```text
-//! dynamips-lint [--format text|json] [--config lint.toml] [--root DIR] [--rules]
+//! dynamips-lint [--format text|json|sarif] [--config lint.toml] [--root DIR]
+//!               [--no-baseline] [--write-baseline] [--list-rules]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` at least one deny-severity finding, `2`
 //! usage or configuration error — the same contract as `dynamips`.
 
-use dynamips_lint::{run, Format, ALL_RULES};
+use dynamips_lint::{run, Baseline, Config, Format, ALL_RULES, BASELINE_FILE};
 use std::path::PathBuf;
 
 /// Exit code for usage/configuration errors.
@@ -17,11 +18,15 @@ const EXIT_FINDINGS: i32 = 1;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dynamips-lint [--format text|json] [--config PATH] [--root DIR] [--rules]\n\
-         \x20 --format   output format (default: text)\n\
-         \x20 --config   lint config (default: <root>/lint.toml)\n\
-         \x20 --root     workspace root (default: nearest ancestor with lint.toml)\n\
-         \x20 --rules    list the rule set and exit\n\
+        "usage: dynamips-lint [--format text|json|sarif] [--config PATH] [--root DIR]\n\
+         \x20                    [--no-baseline] [--write-baseline] [--list-rules]\n\
+         \x20 --format          output format (default: text)\n\
+         \x20 --config          lint config (default: <root>/lint.toml)\n\
+         \x20 --root            workspace root (default: nearest ancestor with lint.toml)\n\
+         \x20 --no-baseline     ignore lint-baseline.json: report the full finding set\n\
+         \x20 --write-baseline  regenerate lint-baseline.json from the current findings\n\
+         \x20                   (review the diff: the ratchet should only shrink)\n\
+         \x20 --list-rules      list every rule id, severity, and description, then exit\n\
          exit code: 0 clean, 1 findings at deny severity, 2 usage/config error"
     );
     std::process::exit(EXIT_USAGE);
@@ -31,24 +36,28 @@ fn main() {
     let mut format = Format::Text;
     let mut config_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
+    let mut use_baseline = true;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
-                format = match args.next().as_deref() {
-                    Some("text") => Format::Text,
-                    Some("json") => Format::Json,
-                    _ => usage(),
-                }
+                format = args
+                    .next()
+                    .as_deref()
+                    .and_then(Format::parse)
+                    .unwrap_or_else(|| usage())
             }
             "--config" => {
                 config_path = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
             }
             "--root" => root = Some(args.next().map(Into::into).unwrap_or_else(|| usage())),
-            "--rules" => {
+            "--no-baseline" => use_baseline = false,
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" | "--rules" => {
                 for r in ALL_RULES {
                     println!(
-                        "{:<12} {:<5} {}",
+                        "{:<18} {:<5} {}",
                         r.id,
                         r.default_severity.as_str(),
                         r.summary
@@ -80,7 +89,39 @@ fn main() {
         }
     };
 
-    match run(&root, &config_text, format) {
+    if write_baseline {
+        // Regenerate the ratchet from the *full* finding set (the current
+        // baseline is deliberately ignored) and report what changed.
+        let cfg = match Config::parse(&config_text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("dynamips-lint: {e}");
+                std::process::exit(EXIT_USAGE);
+            }
+        };
+        let findings = match dynamips_lint::lint_workspace(&root, &cfg) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dynamips-lint: {e}");
+                std::process::exit(EXIT_USAGE);
+            }
+        };
+        let base = Baseline::from_findings(&findings);
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, base.to_json()) {
+            eprintln!("dynamips-lint: cannot write {}: {e}", path.display());
+            std::process::exit(EXIT_USAGE);
+        }
+        println!(
+            "wrote {} ({} finding(s) across {} entries) — diff before committing; the ratchet should only shrink",
+            path.display(),
+            findings.len(),
+            base.entries.len()
+        );
+        return;
+    }
+
+    match run(&root, &config_text, format, use_baseline) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             if outcome.denies > 0 {

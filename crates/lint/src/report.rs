@@ -43,7 +43,7 @@ pub fn render_text(findings: &[Finding]) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -114,6 +114,51 @@ pub fn to_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Serialize findings as a minimal SARIF 2.1.0 log, so standard tooling
+/// (GitHub code scanning, IDE SARIF viewers) renders them as annotations.
+/// Deny maps to `error`, warn to `warning`; rule metadata comes from
+/// [`ALL_RULES`](crate::rules::ALL_RULES).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"dynamips-lint\",\n");
+    let _ = writeln!(out, "          \"version\": \"{LINT_SCHEMA}\",");
+    out.push_str("          \"rules\": [\n");
+    let rules = crate::rules::ALL_RULES;
+    for (i, r) in rules.iter().enumerate() {
+        let comma = if i + 1 == rules.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{comma}",
+            escape(r.id),
+            escape(r.summary)
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 == findings.len() { "" } else { "," };
+        let level = match f.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Allow => "note",
+        };
+        let _ = writeln!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{comma}",
+            escape(&f.rule),
+            escape(&f.message),
+            escape(&f.path),
+            f.line.max(1)
+        );
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Parse a document produced by [`to_json`]. Returns an error string
 /// naming the first field that failed.
 pub fn parse_json(json: &str) -> Result<Vec<Finding>, String> {
@@ -145,7 +190,7 @@ pub fn parse_json(json: &str) -> Result<Vec<Finding>, String> {
 }
 
 /// Extract the raw token after `"key":` up to the next unquoted `,` / `}`.
-fn field_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn field_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let tag = format!("\"{key}\":");
     let start = json.find(&tag)? + tag.len();
     let rest = json[start..].trim_start();
@@ -169,7 +214,7 @@ fn field_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Extract and unescape a string field.
-fn field(json: &str, key: &str) -> Option<String> {
+pub(crate) fn field(json: &str, key: &str) -> Option<String> {
     let raw = field_raw(json, key)?;
     let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
     Some(unescape(inner))
@@ -220,6 +265,23 @@ mod tests {
         let text = render_text(&sample());
         assert!(text.contains("crates/a/src/f.rs:7: deny[panic-path]"));
         assert!(text.contains("1 deny, 1 warn"));
+    }
+
+    #[test]
+    fn sarif_log_shape() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"dynamips-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"panic-path\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"level\": \"warning\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        // Every rule id ships as driver metadata.
+        for r in crate::rules::ALL_RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", r.id)), "{}", r.id);
+        }
+        // Escaped payloads stay valid JSON (quotes and newlines escaped).
+        assert!(sarif.contains("\\\"quotes\\\" and\\nnewline"));
     }
 
     #[test]

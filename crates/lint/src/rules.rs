@@ -103,8 +103,36 @@ pub const BARE_ALLOW: Rule = Rule {
     summary: "lint:allow pragma without a justification (or naming an unknown rule)",
 };
 
-/// Every rule, for docs, pragma validation, and `--rules` output.
-pub const ALL_RULES: [Rule; 10] = [
+/// Interprocedural: panic sites reachable from a pipeline entry point.
+pub const PANIC_REACH: Rule = Rule {
+    id: "panic-reach",
+    default_severity: Severity::Deny,
+    summary: "panic/unwrap/expect site reachable from a pipeline entry point (call-graph)",
+};
+
+/// Interprocedural: nondeterminism sources reachable from a renderer.
+pub const DETERMINISM_TAINT: Rule = Rule {
+    id: "determinism-taint",
+    default_severity: Severity::Deny,
+    summary: "wall-clock/RNG/hash-order source reachable from an artifact renderer (call-graph)",
+};
+
+/// Interprocedural: `pub` items no other crate ever references.
+pub const DEAD_PUB: Rule = Rule {
+    id: "dead-pub",
+    default_severity: Severity::Deny,
+    summary: "pub item never referenced outside its crate (make it pub(crate) or remove it)",
+};
+
+/// Meta: the checked-in baseline may only shrink.
+pub const STALE_BASELINE: Rule = Rule {
+    id: "stale-baseline",
+    default_severity: Severity::Deny,
+    summary: "lint-baseline.json entry that no longer fires (shrink the baseline)",
+};
+
+/// Every rule, for docs, pragma validation, and `--list-rules` output.
+pub const ALL_RULES: [Rule; 14] = [
     WALL_CLOCK,
     UNSEEDED_RNG,
     HASH_ITER,
@@ -115,6 +143,10 @@ pub const ALL_RULES: [Rule; 10] = [
     CRATE_ROOT,
     OFFLINE_DEPS,
     BARE_ALLOW,
+    PANIC_REACH,
+    DETERMINISM_TAINT,
+    DEAD_PUB,
+    STALE_BASELINE,
 ];
 
 /// Look up a rule by id.
@@ -205,10 +237,30 @@ impl FileScope {
 }
 
 /// A `lint:allow` pragma, resolved to the line it suppresses.
-struct Allow {
+pub(crate) struct Allow {
     /// 0-based line whose findings are suppressed.
-    target_line: usize,
-    rules: Vec<String>,
+    pub(crate) target_line: usize,
+    pub(crate) rules: Vec<String>,
+}
+
+impl Allow {
+    /// Does this pragma suppress `rule` on 0-based `line`?
+    pub(crate) fn covers(&self, line: usize, rule: &str) -> bool {
+        self.target_line == line && self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// Extract the justified `lint:allow` pragmas of a file without emitting
+/// pragma-hygiene findings (those were already reported by the per-file
+/// pass); used by the interprocedural analyses for site suppression.
+pub(crate) fn file_allows(path: &str, src: &ScrubbedSource, cfg: &Config) -> Vec<Allow> {
+    let mut sink = Vec::new();
+    let code_lines = src.code_lines();
+    let mut allows = collect_allows(path, src, &code_lines, &mut sink, cfg);
+    // Findings emitted into `sink` mark malformed pragmas; those never
+    // suppress anything, and collect_allows already excluded them.
+    allows.sort_by_key(|a| a.target_line);
+    allows
 }
 
 /// Extract `lint:allow` pragmas and their own findings (missing

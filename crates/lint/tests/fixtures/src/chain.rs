@@ -1,0 +1,13 @@
+//! Fixture: a transitive panic. This file is deliberately *outside* the
+//! panic-free path list, so the per-line panic-path rule stays silent —
+//! only the call-graph analysis can see that `main` reaches the unwrap
+//! two hops down (main → chain_entry → chain_helper).
+//! Expected: panic-reach x1.
+
+pub fn chain_entry() {
+    chain_helper(std::env::args().next());
+}
+
+fn chain_helper(o: Option<String>) {
+    let _ = o.unwrap();
+}

@@ -1,0 +1,6 @@
+//! Fixture: a `pub` item nothing outside this (single-crate) corpus ever
+//! references. Expected: dead-pub x1.
+
+pub fn orphan_helper() -> u32 {
+    41 + 1
+}

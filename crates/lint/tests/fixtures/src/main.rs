@@ -6,6 +6,7 @@ const EXIT_OK: i32 = 0;
 
 fn main() {
     println!("binaries may print");
+    chain_entry();
     if std::env::args().count() > 1 {
         std::process::exit(1);
     }

@@ -1,0 +1,18 @@
+//! Fixture: transitive nondeterminism. `render_table` is declared an
+//! artifact sink in lint.toml; the wall-clock read two calls down taints
+//! it (render_table → helper_mid → helper_src).
+//! Expected: wall-clock x1 (the per-line rule at the site itself) plus
+//! determinism-taint x1 (the call-graph analysis at the same site).
+
+pub fn render_table() -> String {
+    helper_mid()
+}
+
+fn helper_mid() -> String {
+    helper_src()
+}
+
+fn helper_src() -> String {
+    let t = std::time::Instant::now();
+    format!("{:?}", t.elapsed())
+}

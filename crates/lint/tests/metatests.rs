@@ -1,0 +1,114 @@
+//! Meta-tests: fault injection through `lint_workspace_with_overrides`.
+//!
+//! Each test replaces one real workspace file *in memory* with a version
+//! carrying a defect only the interprocedural analyses can see — a panic
+//! two calls away from a pipeline entry point, a wall-clock read two
+//! calls behind a renderer — and asserts the lint run under the real
+//! checked-in `lint.toml` reports it with the full call chain. This is
+//! the regression harness for the analyses themselves: if conservative
+//! call resolution ever loses an edge, these chains disappear.
+
+use dynamips_lint::engine::{find_root, lint_workspace_with_overrides};
+use dynamips_lint::Config;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+fn workspace_config(root: &std::path::Path) -> Config {
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    Config::parse(&text).expect("parse lint.toml")
+}
+
+#[test]
+fn injected_transitive_panic_is_caught_with_its_chain() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+
+    // Inject a panic two hops from the `dynamips` pipeline entry: main
+    // calls injected_entry_hop calls injected_mid_hop, which unwraps an
+    // input-dependent Option. No single file-local scan of the unpatched
+    // entry would connect main to the panic site.
+    let entry = "crates/experiments/src/main.rs";
+    let original = std::fs::read_to_string(root.join(entry)).expect("read pipeline entry");
+    assert_eq!(
+        original.matches("fn main() {").count(),
+        1,
+        "injection point must be unambiguous"
+    );
+    let mut patched = original.replace("fn main() {", "fn main() {\n    injected_entry_hop();");
+    patched.push_str(concat!(
+        "\nfn injected_entry_hop() {\n",
+        "    injected_mid_hop(std::env::args().count());\n",
+        "}\n",
+        "\nfn injected_mid_hop(n: usize) {\n",
+        "    let v: Vec<usize> = Vec::new();\n",
+        "    let _ = *v.get(n).unwrap();\n",
+        "}\n",
+    ));
+
+    let findings = lint_workspace_with_overrides(&root, &cfg, &[(entry.to_string(), patched)])
+        .expect("lint run");
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "panic-reach"
+                && f.message
+                    .contains("main → injected_entry_hop → injected_mid_hop")
+        }),
+        "panic-reachability missed the injected transitive panic; panic-reach findings: {:#?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "panic-reach")
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn injected_wall_clock_two_calls_from_a_renderer_is_tainted() {
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+
+    // crates/core/src/report.rs is a declared determinism sink. Append a
+    // renderer whose helper's helper reads the wall clock: the taint must
+    // travel both call edges back to the pub entry point.
+    let sink = "crates/core/src/report.rs";
+    let mut patched = std::fs::read_to_string(root.join(sink)).expect("read sink file");
+    patched.push_str(concat!(
+        "\npub fn injected_render() -> String {\n",
+        "    injected_fmt()\n",
+        "}\n",
+        "\nfn injected_fmt() -> String {\n",
+        "    injected_stamp()\n",
+        "}\n",
+        "\nfn injected_stamp() -> String {\n",
+        "    let t = std::time::Instant::now();\n",
+        "    format!(\"{:?}\", t.elapsed())\n",
+        "}\n",
+    ));
+
+    let findings = lint_workspace_with_overrides(&root, &cfg, &[(sink.to_string(), patched)])
+        .expect("lint run");
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "determinism-taint"
+                && f.message
+                    .contains("injected_render → injected_fmt → injected_stamp")
+        }),
+        "determinism taint missed the injected wall-clock read; taint findings: {:#?}",
+        findings
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unpatched_workspace_has_no_injected_findings() {
+    // Sanity check for the two tests above: the chains they assert on
+    // must come from the injection, not from the tree.
+    let root = workspace_root();
+    let cfg = workspace_config(&root);
+    let findings = lint_workspace_with_overrides(&root, &cfg, &[]).expect("lint run");
+    assert!(findings.iter().all(|f| !f.message.contains("injected_")));
+}

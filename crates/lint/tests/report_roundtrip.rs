@@ -1,0 +1,114 @@
+//! JSON reporter round-trip tests and the golden file pinning the
+//! `dynamips-lint-v1` document layout.
+//!
+//! The build is offline (no serde), so the writer and parser in
+//! `report.rs` are hand-rolled; these tests pin the escaping rules on
+//! the paths CI actually produces — spaces, quotes, backslashes,
+//! non-ASCII — and freeze the byte-exact layout external tooling parses.
+
+use dynamips_lint::{parse_json, to_json, Finding, Severity, LINT_SCHEMA};
+
+fn finding(path: &str, line: usize, rule: &str, severity: Severity, message: &str) -> Finding {
+    Finding {
+        path: path.into(),
+        line,
+        rule: rule.into(),
+        severity,
+        message: message.into(),
+    }
+}
+
+#[test]
+fn roundtrip_survives_awkward_paths_and_messages() {
+    let findings = vec![
+        finding(
+            "crates/a b/src/l ib.rs",
+            3,
+            "wall-clock",
+            Severity::Deny,
+            "a path with spaces",
+        ),
+        finding(
+            "crates/x/src/\"quoted\".rs",
+            1,
+            "panic-path",
+            Severity::Warn,
+            "she said \"don't\"",
+        ),
+        finding(
+            "crates/ünïcødé/src/lib.rs",
+            42,
+            "dead-pub",
+            Severity::Deny,
+            "non-ASCII survives — naïve café",
+        ),
+        finding(
+            "crates\\win\\style.rs",
+            7,
+            "hash-iter",
+            Severity::Warn,
+            "back\\slash, a\nnewline, and a\ttab",
+        ),
+        finding(
+            "crates/ctrl.rs",
+            9,
+            "unseeded-rng",
+            Severity::Deny,
+            "a control\u{1}character",
+        ),
+    ];
+    let json = to_json(&findings);
+    let parsed = parse_json(&json).expect("reparse our own document");
+    assert_eq!(parsed, findings);
+}
+
+#[test]
+fn roundtrip_of_the_empty_report() {
+    let json = to_json(&[]);
+    assert!(json.contains(LINT_SCHEMA));
+    assert_eq!(parse_json(&json).expect("reparse"), Vec::new());
+}
+
+#[test]
+fn roundtrip_is_a_fixed_point() {
+    let findings = vec![finding(
+        "crates/core/src/report.rs",
+        5,
+        "wall-clock",
+        Severity::Deny,
+        "quote \" backslash \\ done",
+    )];
+    let once = to_json(&findings);
+    let twice = to_json(&parse_json(&once).expect("reparse"));
+    assert_eq!(once, twice);
+}
+
+/// The golden file freezes the `dynamips-lint-v1` layout byte for byte.
+/// If this fails, the schema changed: bump [`LINT_SCHEMA`] and regenerate
+/// the golden file rather than silently breaking report consumers.
+#[test]
+fn golden_file_pins_the_v1_document() {
+    let findings = vec![
+        finding(
+            "crates/core/src/report.rs",
+            12,
+            "wall-clock",
+            Severity::Deny,
+            "Instant::now() in an artifact path",
+        ),
+        finding(
+            "crates/atlas/src/records.rs",
+            8,
+            "hash-iter",
+            Severity::Warn,
+            "iteration over a HashMap in a rendering path",
+        ),
+    ];
+    let json = to_json(&findings);
+    let golden = include_str!("golden/lint-report-v1.json");
+    assert_eq!(
+        json, golden,
+        "dynamips-lint-v1 layout changed; bump LINT_SCHEMA and regenerate tests/golden/lint-report-v1.json"
+    );
+    assert!(json.contains(&format!("\"schema\": \"{LINT_SCHEMA}\"")));
+}

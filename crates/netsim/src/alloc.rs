@@ -21,7 +21,7 @@ use std::collections::HashMap;
 /// Tracks which indices of a pool of `capacity` elements are in use, and
 /// optionally remembers the last index bound to each client.
 #[derive(Debug, Clone)]
-pub struct IndexAllocator {
+pub(crate) struct IndexAllocator {
     capacity: u64,
     in_use: Vec<bool>,
     used: u64,
@@ -43,18 +43,15 @@ impl IndexAllocator {
             capacity,
             in_use: vec![false; dense as usize],
             used: 0,
+            // lint:allow(determinism-taint): get/insert/remove only; never iterated
             bindings: HashMap::new(),
             cursor: 0,
         }
     }
 
-    /// Total number of indices.
-    pub fn capacity(&self) -> u64 {
-        self.capacity
-    }
-
     /// Number of currently allocated indices (within the dense range).
-    pub fn used(&self) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn used(&self) -> u64 {
         self.used
     }
 
@@ -63,7 +60,7 @@ impl IndexAllocator {
     }
 
     /// Acquire a specific index if free. Returns whether it was granted.
-    pub fn acquire_exact(&mut self, client: u64, index: u64) -> bool {
+    pub(crate) fn acquire_exact(&mut self, client: u64, index: u64) -> bool {
         if index >= self.capacity {
             return false;
         }
@@ -80,7 +77,11 @@ impl IndexAllocator {
 
     /// Sticky acquisition: return the client's previous index if it is still
     /// free, otherwise fall back to [`IndexAllocator::acquire_any`].
-    pub fn acquire_sticky<R: Rng + ?Sized>(&mut self, rng: &mut R, client: u64) -> Option<u64> {
+    pub(crate) fn acquire_sticky<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        client: u64,
+    ) -> Option<u64> {
         if let Some(prev) = self.bindings.get(&client).copied() {
             if self.acquire_exact(client, prev) {
                 return Some(prev);
@@ -92,7 +93,7 @@ impl IndexAllocator {
     /// Non-sticky acquisition: pick an arbitrary free index, avoiding the
     /// client's previous one when the pool has alternatives (a renumbering
     /// server virtually never re-issues the address it just reclaimed).
-    pub fn acquire_any<R: Rng + ?Sized>(&mut self, rng: &mut R, client: u64) -> Option<u64> {
+    pub(crate) fn acquire_any<R: Rng + ?Sized>(&mut self, rng: &mut R, client: u64) -> Option<u64> {
         if self.used >= self.dense_len() && self.capacity <= self.dense_len() {
             return None;
         }
@@ -138,7 +139,7 @@ impl IndexAllocator {
     /// (this is what keeps half of Comcast's observed IPv4 changes inside
     /// the same /24 in the paper's Table 2). Falls back to
     /// [`IndexAllocator::acquire_any`] when no nearby index is free.
-    pub fn acquire_near<R: Rng + ?Sized>(
+    pub(crate) fn acquire_near<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
         client: u64,
@@ -165,7 +166,7 @@ impl IndexAllocator {
     /// Release an index back to the pool. The client's binding memory is
     /// retained (that is the point of stickiness); call
     /// [`IndexAllocator::forget`] to drop it.
-    pub fn release(&mut self, index: u64) {
+    pub(crate) fn release(&mut self, index: u64) {
         if index < self.dense_len() && self.in_use[index as usize] {
             self.in_use[index as usize] = false;
             self.used -= 1;
@@ -174,13 +175,8 @@ impl IndexAllocator {
 
     /// Drop the binding memory for a client (server lost state — e.g. the
     /// infrastructure outages of Section 2.2).
-    pub fn forget(&mut self, client: u64) {
+    pub(crate) fn forget(&mut self, client: u64) {
         self.bindings.remove(&client);
-    }
-
-    /// Drop all binding memory (pool-wide state loss).
-    pub fn forget_all(&mut self) {
-        self.bindings.clear();
     }
 }
 

@@ -124,7 +124,7 @@ pub struct V6PoolPlan {
 
 impl V6PoolPlan {
     /// Basic sanity checks; called when an ISP sim is built.
-    pub fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         if self.aggregates.is_empty() {
             return Err("no IPv6 aggregates".into());
         }
@@ -176,7 +176,7 @@ pub struct V4PoolPlan {
 
 impl V4PoolPlan {
     /// Sanity checks.
-    pub fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         if self.pools.is_empty() {
             return Err("no IPv4 pools".into());
         }
@@ -201,7 +201,7 @@ impl V4PoolPlan {
 
     /// The effective BGP announcements (pool prefixes themselves if no
     /// explicit aggregates were configured).
-    pub fn effective_announcements(&self) -> Vec<Ipv4Prefix> {
+    pub(crate) fn effective_announcements(&self) -> Vec<Ipv4Prefix> {
         if self.announcements.is_empty() {
             self.pools.iter().map(|(p, _)| *p).collect()
         } else {
@@ -323,7 +323,7 @@ pub struct IspConfig {
 
 impl IspConfig {
     /// Validate the configuration; returns a human-readable error.
-    pub fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         if self.classes.is_empty() {
             return Err(format!("{}: no subscriber classes", self.name));
         }

@@ -12,6 +12,8 @@ use crate::time::SimTime;
 
 /// Phase of an RFC 2131 client lease at a given time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): doctest-facing; the doc example on LeaseState is an
+// external caller this scan cannot see.
 pub enum LeasePhase {
     /// Before T1: the client uses the address without talking to the
     /// server.
@@ -39,6 +41,8 @@ pub enum LeasePhase {
 /// assert!(!lease.survives_outage(SimTime(100), SimTime(130)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): doctest-facing; the doc example above compiles
+// against the public surface, which this scan cannot see.
 pub struct LeaseState {
     /// When the lease was granted or last renewed.
     pub renewed_at: SimTime,
@@ -48,6 +52,7 @@ pub struct LeaseState {
 
 impl LeaseState {
     /// Grant a fresh lease at `now`.
+    // lint:allow(dead-pub): doctest-facing; called from the doc example above.
     pub fn granted(now: SimTime, lease_hours: u64) -> Self {
         LeaseState {
             renewed_at: now,
@@ -66,11 +71,12 @@ impl LeaseState {
     }
 
     /// Lease expiry.
-    pub fn expiry(&self) -> SimTime {
+    pub(crate) fn expiry(&self) -> SimTime {
         self.renewed_at + self.lease_hours
     }
 
     /// Phase at time `t`.
+    // lint:allow(dead-pub): doctest-facing; called from the doc example above.
     pub fn phase_at(&self, t: SimTime) -> LeasePhase {
         if t < self.t1() {
             LeasePhase::Bound
@@ -85,6 +91,8 @@ impl LeaseState {
 
     /// Renew at `t` (the server re-acknowledges): the timers restart. An
     /// online client renews at every T1, so its lease never expires.
+    // lint:allow(dead-pub): part of the documented lease API; exercised by
+    // this crate's tests.
     pub fn renew(&mut self, t: SimTime) {
         debug_assert!(t >= self.renewed_at);
         self.renewed_at = t;
@@ -97,6 +105,7 @@ impl LeaseState {
     /// simulator's CPEs renew opportunistically at every measurement-hour
     /// tick). Equivalently: the outage must outlast a full lease to lose
     /// the binding.
+    // lint:allow(dead-pub): doctest-facing; called from the doc example above.
     pub fn survives_outage(&self, down: SimTime, up: SimTime) -> bool {
         let fresh = LeaseState::granted(down, self.lease_hours);
         up < fresh.expiry() || up == fresh.expiry()
@@ -105,6 +114,8 @@ impl LeaseState {
 
 /// Phase of a DHCPv6 delegated prefix (IA_PD) at a given time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): returned by DelegationState::phase_at; part of the
+// documented lease API, exercised by this crate's tests.
 pub enum DelegationPhase {
     /// Within the preferred lifetime: use freely.
     Preferred,
@@ -118,6 +129,8 @@ pub enum DelegationPhase {
 /// One delegated prefix with RFC 8415 lifetimes, timed from its last
 /// renewal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(dead-pub): the prefix-delegation counterpart of LeaseState,
+// kept pub as part of the documented lease API.
 pub struct DelegationState {
     /// When the delegation was granted or last renewed.
     pub renewed_at: SimTime,
@@ -130,7 +143,7 @@ pub struct DelegationState {
 impl DelegationState {
     /// Grant a delegation at `now`. `valid_hours` is clamped to at least
     /// `preferred_hours`, as the RFC requires.
-    pub fn granted(now: SimTime, preferred_hours: u64, valid_hours: u64) -> Self {
+    pub(crate) fn granted(now: SimTime, preferred_hours: u64, valid_hours: u64) -> Self {
         DelegationState {
             renewed_at: now,
             preferred_hours,
@@ -139,6 +152,8 @@ impl DelegationState {
     }
 
     /// Phase at time `t`.
+    // lint:allow(dead-pub): part of the documented lease API; exercised by
+    // this crate's tests.
     pub fn phase_at(&self, t: SimTime) -> DelegationPhase {
         let elapsed = t - self.renewed_at;
         if elapsed < self.preferred_hours {
@@ -150,16 +165,10 @@ impl DelegationState {
         }
     }
 
-    /// Renew at `t`.
-    pub fn renew(&mut self, t: SimTime) {
-        debug_assert!(t >= self.renewed_at);
-        self.renewed_at = t;
-    }
-
     /// Whether a CPE offline during `[down, up)` still holds a valid
     /// delegation on return (same opportunistic-renewal assumption as
     /// [`LeaseState::survives_outage`]).
-    pub fn survives_outage(&self, down: SimTime, up: SimTime) -> bool {
+    pub(crate) fn survives_outage(&self, down: SimTime, up: SimTime) -> bool {
         up - down <= self.valid_hours
     }
 }

@@ -8,7 +8,7 @@ use std::collections::BinaryHeap;
 /// insertion order (a monotonically increasing sequence number breaks ties),
 /// which keeps simulations deterministic for a fixed seed.
 #[derive(Debug)]
-pub struct EventQueue<E> {
+pub(crate) struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64, WrappedEvent<E>)>>,
     seq: u64,
 }
@@ -50,7 +50,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` at `time`.
-    pub fn schedule(&mut self, time: SimTime, event: E) {
+    pub(crate) fn schedule(&mut self, time: SimTime, event: E) {
         self.heap
             .push(Reverse((time, self.seq, WrappedEvent(event))));
         self.seq += 1;
@@ -64,16 +64,19 @@ impl<E> EventQueue<E> {
     }
 
     /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    #[cfg(test)]
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
     }
 
     /// Number of pending events.
+    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether the queue is empty.
+    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod alloc;
+pub(crate) mod alloc;
 pub mod config;
+// lint:allow(dead-pub): doctest-facing; the dhcp doc examples import through
+// this path.
 pub mod dhcp;
-pub mod event;
+pub(crate) mod event;
 pub mod plan;
 pub mod profiles;
 pub mod rngutil;
@@ -45,6 +47,6 @@ pub mod world;
 
 pub use config::IspConfig;
 pub use sim::{IspSim, IspSimResult};
-pub use time::{Date, SimTime, Window, DAY, HOUR, WEEK, YEAR};
+pub use time::{Date, SimTime, Window, DAY, WEEK, YEAR};
 pub use timeline::{SubscriberId, SubscriberTimeline, V4Segment, V6Segment};
 pub use world::World;

@@ -12,6 +12,8 @@ use rand::Rng;
 
 /// Concrete policy assignment for one subscriber.
 #[derive(Debug, Clone, PartialEq)]
+// lint:allow(dead-pub): values flow to other crates through the pub
+// IspSimResult::plans field without the type name being spelled.
 pub struct SubscriberPlan {
     /// Index of the class in the ISP config this was drawn from.
     pub class_idx: usize,
@@ -32,7 +34,7 @@ pub struct SubscriberPlan {
 }
 
 /// Sample a subscriber plan from an ISP configuration.
-pub fn sample_plan<R: Rng + ?Sized>(cfg: &IspConfig, rng: &mut R) -> SubscriberPlan {
+pub(crate) fn sample_plan<R: Rng + ?Sized>(cfg: &IspConfig, rng: &mut R) -> SubscriberPlan {
     let weights: Vec<f64> = cfg.classes.iter().map(|c| c.weight).collect();
     let class_idx = weighted_index(rng, &weights);
     let class = &cfg.classes[class_idx];

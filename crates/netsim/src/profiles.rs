@@ -535,7 +535,7 @@ pub fn bt(subscribers: u32, era: Era) -> IspConfig {
 
 /// Proximus (AS5432). 1.5-day IPv4 renumbering; a share of dual-stack lines
 /// renumber the delegation on the same cadence.
-pub fn proximus(subscribers: u32, era: Era) -> IspConfig {
+pub(crate) fn proximus(subscribers: u32, era: Era) -> IspConfig {
     let q = OutageConfig::quiet();
     let (w_nds, w_ds_coupled, w_ds_stable) = match era {
         Era::Atlas => (0.44, 0.22, 0.34),
@@ -589,7 +589,7 @@ pub fn proximus(subscribers: u32, era: Era) -> IspConfig {
 }
 
 /// Versatel (AS8881). 24-hour renumbering on both families, coupled.
-pub fn versatel(subscribers: u32, era: Era) -> IspConfig {
+pub(crate) fn versatel(subscribers: u32, era: Era) -> IspConfig {
     let rotate = match era {
         Era::Atlas => Some(24),
         Era::Cdn => None,
@@ -733,7 +733,7 @@ pub fn netcologne(subscribers: u32, era: Era) -> IspConfig {
 
 /// Free SAS (AS12322). Sticky addressing with occasional outage-driven
 /// changes; notable share of IPv6 changes cross BGP prefixes (42%).
-pub fn free_sas(subscribers: u32, era: Era) -> IspConfig {
+pub(crate) fn free_sas(subscribers: u32, era: Era) -> IspConfig {
     let cpe = vec![
         (0.85, CpeV6Behavior::ZeroOut),
         (
@@ -869,7 +869,7 @@ pub fn kabel_de(subscribers: u32, era: Era) -> IspConfig {
 }
 
 /// Sky UK (AS5607). Stable addressing; verified /56 delegations.
-pub fn sky_uk(subscribers: u32, era: Era) -> IspConfig {
+pub(crate) fn sky_uk(subscribers: u32, era: Era) -> IspConfig {
     let q = OutageConfig::quiet();
     let w_nds = match era {
         Era::Atlas => 0.20,
@@ -1043,7 +1043,7 @@ fn us_stable_isp(
 /// mobile associations last ≤ 1 day with a tail to ~30 days; the EE-like
 /// outlier in RIPE reaches ~50 days.
 #[allow(clippy::too_many_arguments)]
-pub fn mobile_isp(
+pub(crate) fn mobile_isp(
     asn: u32,
     name: &str,
     country: &str,
@@ -1105,7 +1105,7 @@ pub fn mobile_isp(
 /// world. `delegated_len` and the CPE mix control the Figure-7 trailing-zero
 /// signature; `change_interval_days` controls Figure-3 association durations.
 #[allow(clippy::too_many_arguments)]
-pub fn background_fixed_isp(
+pub(crate) fn background_fixed_isp(
     asn: u32,
     name: &str,
     rir: Rir,
@@ -1173,7 +1173,7 @@ pub fn background_fixed_isp(
 /// each pool is replaced by its lowest sub-block of the appropriate size;
 /// announcements keep covering the shrunk pools. Only used for the CDN-era
 /// world — Atlas-side analyses never look at per-/24 density.
-pub fn densify_v4(mut cfg: IspConfig) -> IspConfig {
+pub(crate) fn densify_v4(mut cfg: IspConfig) -> IspConfig {
     const TARGET_OCCUPANCY: f64 = 0.7;
     if let Some(plan) = &mut cfg.v4_plan {
         if plan.announcements.is_empty() {
@@ -1201,7 +1201,8 @@ pub fn densify_v4(mut cfg: IspConfig) -> IspConfig {
 // ---------------------------------------------------------------------------
 
 /// Table-1 probe counts (the "All probes" column).
-pub const ATLAS_PROBE_COUNTS: [(&str, u32); 11] = [
+#[cfg(test)]
+pub(crate) const ATLAS_PROBE_COUNTS: [(&str, u32); 11] = [
     ("DTAG", 589),
     ("Comcast", 415),
     ("Orange", 425),

@@ -24,7 +24,7 @@ pub fn derive_rng(seed: u64, stream: u64) -> SmallRng {
 /// Sample an exponentially distributed duration (in hours) with the given
 /// mean, by inverse CDF. Returns at least 1 hour so events always advance
 /// the clock.
-pub fn exp_hours<R: Rng + ?Sized>(rng: &mut R, mean_hours: f64) -> u64 {
+pub(crate) fn exp_hours<R: Rng + ?Sized>(rng: &mut R, mean_hours: f64) -> u64 {
     debug_assert!(mean_hours > 0.0);
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     let h = -mean_hours * u.ln();
@@ -36,7 +36,7 @@ pub fn exp_hours<R: Rng + ?Sized>(rng: &mut R, mean_hours: f64) -> u64 {
 /// log-space between `body_mean` and `tail_max`. Used for cellular session
 /// lifetimes, which the paper finds are "one day or less" for 75% of
 /// associations with "a long-tail lasting up to 30 days".
-pub fn heavy_tail_hours<R: Rng + ?Sized>(
+pub(crate) fn heavy_tail_hours<R: Rng + ?Sized>(
     rng: &mut R,
     body_mean: f64,
     tail_prob: f64,
@@ -53,7 +53,7 @@ pub fn heavy_tail_hours<R: Rng + ?Sized>(
 }
 
 /// Pick an index according to (not necessarily normalized) weights.
-pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+pub(crate) fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     debug_assert!(!weights.is_empty());
     let total: f64 = weights.iter().sum();
     debug_assert!(total > 0.0, "weights must have positive sum");
@@ -69,7 +69,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 
 /// Jitter a base period multiplicatively by ±`frac` (e.g. 0.05 → within 5%),
 /// keeping at least 1 hour.
-pub fn jitter_period<R: Rng + ?Sized>(rng: &mut R, base_hours: u64, frac: f64) -> u64 {
+pub(crate) fn jitter_period<R: Rng + ?Sized>(rng: &mut R, base_hours: u64, frac: f64) -> u64 {
     if frac <= 0.0 {
         return base_hours.max(1);
     }

@@ -120,6 +120,8 @@ struct SubState {
 /// Ground truth exposed alongside the timelines, for tests and experiment
 /// validation.
 #[derive(Debug, Clone)]
+// lint:allow(dead-pub): carried by the pub IspSimResult::ground_truth field,
+// so values reach other crates without the type name being spelled.
 pub struct GroundTruth {
     /// The regional delegation pools that were instantiated.
     pub regions: Vec<Ipv6Prefix>,
@@ -128,6 +130,8 @@ pub struct GroundTruth {
 }
 
 /// Result of simulating one ISP.
+// lint:allow(dead-pub): returned by World::run_one/run_each to other crates,
+// which consume values without ever spelling the type name.
 pub struct IspSimResult {
     /// The configuration that was simulated.
     pub config: IspConfig,

@@ -9,8 +9,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-/// One hour, the base tick.
-pub const HOUR: u64 = 1;
 /// Hours in a day.
 pub const DAY: u64 = 24;
 /// Hours in a week.
@@ -23,9 +21,6 @@ pub const YEAR: u64 = 365 * DAY;
 pub struct SimTime(pub u64);
 
 impl SimTime {
-    /// The simulation epoch.
-    pub const EPOCH: SimTime = SimTime(0);
-
     /// Construct from a civil date (00:00 that day).
     pub fn from_date(date: Date) -> Self {
         let days = date.days_from_epoch();
@@ -33,7 +28,8 @@ impl SimTime {
     }
 
     /// Construct from a civil date plus an hour-of-day.
-    pub fn from_date_hour(date: Date, hour: u8) -> Self {
+    #[cfg(test)]
+    pub(crate) fn from_date_hour(date: Date, hour: u8) -> Self {
         SimTime(date.days_from_epoch() * DAY + hour as u64)
     }
 
@@ -53,12 +49,13 @@ impl SimTime {
     }
 
     /// Hour of day (0–23).
-    pub fn hour_of_day(&self) -> u8 {
+    pub(crate) fn hour_of_day(&self) -> u8 {
         (self.0 % DAY) as u8
     }
 
     /// Saturating difference in hours.
-    pub fn since(&self, earlier: SimTime) -> u64 {
+    #[cfg(test)]
+    pub(crate) fn since(&self, earlier: SimTime) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
 }
@@ -127,7 +124,7 @@ impl Date {
 
     /// Days since the simulation epoch (2014-01-01). Panics if the date is
     /// before the epoch: the simulation clock is unsigned.
-    pub fn days_from_epoch(&self) -> u64 {
+    pub(crate) fn days_from_epoch(&self) -> u64 {
         let days = self.days_from_unix() - EPOCH_DAYS_FROM_UNIX;
         u64::try_from(days).expect("date before simulation epoch 2014-01-01")
     }
