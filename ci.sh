@@ -25,4 +25,50 @@ cargo build --release --quiet --locked
 say "cargo test"
 cargo test --workspace -q
 
+BIN=target/release/dynamips
+
+say "engine bench at reference scale (2 workers, timings)"
+rm -rf target/ci-artifacts
+"$BIN" --seed 2020 --atlas-scale 0.2 --cdn-scale 0.15 --threads 2 --timings \
+    --out target/ci-artifacts all > target/ci-run-stdout.txt
+"$BIN" bench-check target/ci-artifacts/BENCH_all.json
+
+say "usage errors exit 2 before any socket work"
+rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x --concurrency 0 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for --concurrency 0, got $rc"; exit 1; }
+rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x \
+    --bench-out /nonexistent-ci-dir/bench.json >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unwritable --bench-out, got $rc"; exit 1; }
+rc=0; "$BIN" serve --serve-workers 0 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for --serve-workers 0, got $rc"; exit 1; }
+
+say "serve smoke: ephemeral port, loadtest, clean drain"
+rm -f target/serve.log target/serve.err target/BENCH_serve.json
+"$BIN" serve --addr 127.0.0.1:0 --seed 11 --atlas-scale 0.02 --cdn-scale 0.02 \
+    > target/serve.log 2> target/serve.err &
+SERVE_PID=$!
+URL=""
+for _ in $(seq 1 100); do
+    URL=$(awk '/^dynamips-serve listening on /{print $NF}' target/serve.log)
+    [ -n "$URL" ] && break
+    sleep 0.1
+done
+[ -n "$URL" ] || { echo "serve never reported its URL"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+"$BIN" loadtest --url "$URL/artifacts/fig1" --concurrency 16 --requests 48 \
+    --bench-out target/BENCH_serve.json
+"$BIN" bench-check target/BENCH_serve.json
+"$BIN" loadtest --url "$URL/shutdown" --concurrency 1 --requests 1 \
+    --bench-out target/BENCH_shutdown.json > /dev/null
+# The drain is cooperative; give it a bounded window, then insist.
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve did not drain within the window"
+    kill "$SERVE_PID"
+    exit 1
+fi
+wait "$SERVE_PID" || { echo "serve exited nonzero"; exit 1; }
+
 say "ci: all stages passed"

@@ -52,6 +52,18 @@ pub const EXTENDED_ARTIFACTS: [&str; 9] = [
 /// Extended artifacts driven by the shared clean-history collection.
 const HISTORY_ARTIFACTS: [&str; 4] = ["evolution", "pools", "scanplan", "targetgen"];
 
+/// Every artifact name the engine can render, in stable listing order
+/// (Atlas, CDN, cross-cutting, extended): the `GET /artifacts` body.
+pub fn artifact_names() -> Vec<&'static str> {
+    ATLAS_ARTIFACTS
+        .iter()
+        .chain(CDN_ARTIFACTS.iter())
+        .copied()
+        .chain(["claims", "check", "seeds"])
+        .chain(EXTENDED_ARTIFACTS.iter().copied())
+        .collect()
+}
+
 /// Is `name` an artifact the engine can render?
 pub fn is_known_artifact(name: &str) -> bool {
     ATLAS_ARTIFACTS.contains(&name)
@@ -162,35 +174,75 @@ pub struct EngineOutput {
     pub perf: PerfRecord,
 }
 
+/// Which shared products a request needs. Derived per artifact and
+/// unioned per request, so batch runs ([`run`]) and warm sessions
+/// ([`WarmSession`]) agree exactly on what phase A must compute.
+#[derive(Debug, Clone, Copy, Default)]
+struct Needs {
+    atlas: bool,
+    cdn: bool,
+    histories: bool,
+    world: bool,
+}
+
+impl Needs {
+    /// Products artifact `name` reads (see [`render_one`]).
+    fn for_artifact(name: &str) -> Needs {
+        let atlas = ATLAS_ARTIFACTS.contains(&name) || name == "claims" || name == "check";
+        let cdn = CDN_ARTIFACTS.contains(&name) || name == "claims" || name == "check";
+        let histories = HISTORY_ARTIFACTS.contains(&name);
+        let world = atlas || histories || EXTENDED_ARTIFACTS.contains(&name);
+        Needs {
+            atlas,
+            cdn,
+            histories,
+            world,
+        }
+    }
+
+    /// Union of per-artifact needs across a whole request.
+    fn for_request(wanted: &[String]) -> Needs {
+        wanted
+            .iter()
+            .map(|w| Needs::for_artifact(w))
+            .fold(Needs::default(), |acc, n| Needs {
+                atlas: acc.atlas || n.atlas,
+                cdn: acc.cdn || n.cdn,
+                histories: acc.histories || n.histories,
+                world: acc.world || n.world,
+            })
+    }
+}
+
 /// Everything a renderer may need, shared read-only across workers.
 struct EngineContext<'a> {
     cfg: &'a ExperimentConfig,
-    atlas: Option<AtlasAnalysis>,
-    cdn: Option<CdnAnalysis>,
-    histories: Option<CleanHistories>,
-    atlas_world: Option<Arc<World>>,
+    atlas: Option<&'a AtlasAnalysis>,
+    cdn: Option<&'a CdnAnalysis>,
+    histories: Option<&'a CleanHistories>,
+    atlas_world: Option<&'a World>,
 }
 
 // Phase A computes every product the artifacts requested in phase B read
-// (see the needs_* derivation in `run`); a miss here is an engine wiring
-// bug worth crashing on, not a data-dependent condition to degrade.
+// (the `Needs` derivation above); a miss here is an engine wiring bug
+// worth crashing on, not a data-dependent condition to degrade.
 #[allow(clippy::expect_used)]
 impl EngineContext<'_> {
     fn atlas(&self) -> &AtlasAnalysis {
         // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
-        self.atlas.as_ref().expect("atlas analysis computed")
+        self.atlas.expect("atlas analysis computed")
     }
     fn cdn(&self) -> &CdnAnalysis {
         // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
-        self.cdn.as_ref().expect("cdn analysis computed")
+        self.cdn.expect("cdn analysis computed")
     }
     fn histories(&self) -> &CleanHistories {
         // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
-        self.histories.as_ref().expect("histories collected")
+        self.histories.expect("histories collected")
     }
     fn world(&self) -> &World {
         // lint:allow(panic-path): phase A wiring guarantees the product; see impl comment
-        self.atlas_world.as_deref().expect("atlas world built")
+        self.atlas_world.expect("atlas world built")
     }
 }
 
@@ -240,20 +292,9 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
     let started = Instant::now();
     let cache = WorldCache::new();
 
-    let needs_atlas = wanted
-        .iter()
-        .any(|w| ATLAS_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
-    let needs_cdn = wanted
-        .iter()
-        .any(|w| CDN_ARTIFACTS.contains(&w.as_str()) || w == "claims" || w == "check");
-    let needs_histories = wanted
-        .iter()
-        .any(|w| HISTORY_ARTIFACTS.contains(&w.as_str()));
-    let needs_atlas_world = needs_atlas
-        || needs_histories
-        || wanted
-            .iter()
-            .any(|w| EXTENDED_ARTIFACTS.contains(&w.as_str()));
+    let needs = Needs::for_request(wanted);
+    let (needs_atlas, needs_cdn, needs_histories, needs_atlas_world) =
+        (needs.atlas, needs.cdn, needs.histories, needs.world);
 
     // --- Phase A: shared products.
     //
@@ -385,12 +426,13 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
         }
     }
 
+    let atlas_world: Option<Arc<World>> = atlas_world_handle.map(|(w, _)| w);
     let ctx = EngineContext {
         cfg,
-        atlas: atlas_analysis,
-        cdn: cdn_analysis,
-        histories,
-        atlas_world: atlas_world_handle.map(|(w, _)| w),
+        atlas: atlas_analysis.as_ref(),
+        cdn: cdn_analysis.as_ref(),
+        histories: histories.as_ref(),
+        atlas_world: atlas_world.as_deref(),
     };
 
     // --- Phase B: render fan-out.
@@ -453,6 +495,98 @@ pub fn run(cfg: &ExperimentConfig, wanted: &[String], workers: usize) -> EngineO
         artifacts: artifact_times,
     };
     EngineOutput { artifacts, perf }
+}
+
+/// A warm, reusable render session for one configuration: worlds and
+/// analysis products are computed on first demand and then retained, so
+/// repeated [`WarmSession::render_artifact`] calls against the same
+/// `(seed, atlas_scale, cdn_scale)` are pure lookups plus the renderer
+/// itself. This is the serving layer's render-to-bytes entry point; a
+/// batch [`run`] and a warm session agree byte-for-byte because both
+/// funnel through [`render_one`] over products built by the same code.
+///
+/// The session is `Sync`: concurrent renders share the products through
+/// `OnceLock`, which also guarantees each product is built exactly once
+/// even when many requests arrive before the first build finishes.
+pub struct WarmSession {
+    cfg: ExperimentConfig,
+    workers: usize,
+    cache: WorldCache,
+    atlas: OnceLock<AtlasAnalysis>,
+    cdn: OnceLock<CdnAnalysis>,
+    histories: OnceLock<CleanHistories>,
+}
+
+impl WarmSession {
+    /// A session for `cfg` whose analyses use `workers` threads on their
+    /// first (cold) computation.
+    pub fn warm(cfg: ExperimentConfig, workers: usize) -> WarmSession {
+        WarmSession {
+            cfg,
+            workers: workers.max(1),
+            cache: WorldCache::new(),
+            atlas: OnceLock::new(),
+            cdn: OnceLock::new(),
+            histories: OnceLock::new(),
+        }
+    }
+
+    /// The configuration this session renders under.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Distinct worlds constructed so far (at most two: Atlas + CDN).
+    pub fn worlds_built(&self) -> usize {
+        self.cache.builds()
+    }
+
+    fn atlas_product(&self) -> &AtlasAnalysis {
+        self.atlas.get_or_init(|| {
+            let w = self.cache.atlas(self.cfg.seed, self.cfg.atlas_scale);
+            let mut deg = DegradationReport::new();
+            AtlasAnalysis::compute_for_world(&w, self.workers, &mut deg)
+        })
+    }
+
+    fn cdn_product(&self) -> &CdnAnalysis {
+        self.cdn.get_or_init(|| {
+            let w = self.cache.cdn(self.cfg.seed, self.cfg.cdn_scale);
+            let mut deg = DegradationReport::new();
+            CdnAnalysis::compute_for_world(&w, &mut deg)
+        })
+    }
+
+    fn histories_product(&self) -> &CleanHistories {
+        self.histories.get_or_init(|| {
+            let w = self.cache.atlas(self.cfg.seed, self.cfg.atlas_scale);
+            extended::clean_histories(&w, Window::atlas_paper())
+        })
+    }
+
+    /// Render one artifact to text, computing (and caching) exactly the
+    /// products it needs. `name` should be prevalidated with
+    /// [`is_known_artifact`]; unknown names yield a failed artifact, not
+    /// a panic, mirroring [`run`].
+    pub fn render_artifact(&self, name: &str) -> RenderedArtifact {
+        let needs = Needs::for_artifact(name);
+        let atlas_world = needs
+            .world
+            .then(|| self.cache.atlas(self.cfg.seed, self.cfg.atlas_scale));
+        let ctx = EngineContext {
+            cfg: &self.cfg,
+            atlas: needs.atlas.then(|| self.atlas_product()),
+            cdn: needs.cdn.then(|| self.cdn_product()),
+            histories: needs.histories.then(|| self.histories_product()),
+            atlas_world: atlas_world.as_deref(),
+        };
+        let (text, ok) = render_one(name, &ctx);
+        RenderedArtifact {
+            name: name.to_string(),
+            text,
+            ok,
+        }
+    }
 }
 
 /// Render the `--timings` table from a perf record.
@@ -540,6 +674,41 @@ mod tests {
         assert_eq!(back.worlds_built, 2);
         assert_eq!(back.artifacts.len(), wanted.len());
         assert!(render_timings(&par.perf).contains("atlas-analysis"));
+    }
+
+    #[test]
+    fn warm_session_matches_batch_run_and_reuses_products() {
+        let cfg = ExperimentConfig {
+            seed: 11,
+            atlas_scale: 0.02,
+            cdn_scale: 0.02,
+        };
+        let wanted: Vec<String> = ["fig1", "fig3", "evolution", "seeds"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let batch = run(&cfg, &wanted, 2);
+        let session = WarmSession::warm(cfg, 2);
+        for expected in &batch.artifacts {
+            let warm = session.render_artifact(&expected.name);
+            assert_eq!(warm.name, expected.name);
+            assert_eq!(
+                warm.text, expected.text,
+                "warm render of {} differs from batch run",
+                expected.name
+            );
+            assert_eq!(warm.ok, expected.ok);
+        }
+        // Repeat renders reuse the warm products: no additional worlds.
+        let builds = session.worlds_built();
+        assert_eq!(builds, 2, "atlas + cdn worlds");
+        let again = session.render_artifact("fig1");
+        assert_eq!(again.text, batch.artifacts[0].text);
+        assert_eq!(session.worlds_built(), builds);
+        // Unknown names degrade exactly like the batch path.
+        let unknown = session.render_artifact("TYPO");
+        assert!(!unknown.ok);
+        assert!(unknown.text.contains("unknown artifact"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod claims;
 pub mod context;
 pub mod engine;
 pub mod extended;
+pub mod service;
 
 pub use context::{AtlasAnalysis, CdnAnalysis, ExperimentConfig};
 

@@ -7,6 +7,9 @@
 //! dynamips --threads 8 --timings all   # parallel engine + wall-time table
 //! dynamips chaos --rate 0.01 --seeds 5   # adversarial-ingest sweep
 //! dynamips lint [--format json]          # workspace invariant checker
+//! dynamips serve --addr 127.0.0.1:0      # HTTP serving layer
+//! dynamips loadtest --url http://127.0.0.1:8311/artifacts/fig1
+//! dynamips bench-check BENCH_all.json    # validate a bench record
 //! ```
 //!
 //! Artifact names and `--out` writability are validated *before* any
@@ -16,7 +19,7 @@
 //! Exit codes: `0` on success, `1` on a run failure (I/O error, failed
 //! `check` predicates, failed `chaos` sweep), `2` on a usage error.
 
-use dynamips_experiments::{chaos, engine, extended, ExperimentConfig};
+use dynamips_experiments::{chaos, engine, extended, service, ExperimentConfig};
 
 /// Exit code for usage errors (bad flags, unknown artifacts).
 const EXIT_USAGE: i32 = 2;
@@ -36,6 +39,15 @@ fn usage() -> ! {
          lint:      lint [--format text|json|sarif]\n\
          \x20          (check the workspace's determinism, panic-freedom,\n\
          \x20          and offline-build invariants against lint.toml)\n\
+         serve:     serve [--addr A] [--serve-workers N] [--queue N]\n\
+         \x20          [--max-conns N] [--cache-cap N] [--read-timeout-ms N]\n\
+         \x20          [--write-timeout-ms N]\n\
+         \x20          (HTTP server over the engine at the reference scale by\n\
+         \x20          default; GET /shutdown drains and exits)\n\
+         loadtest:  loadtest --url U [--concurrency N] [--requests N]\n\
+         \x20          [--timeout-ms N] [--bench-out PATH]\n\
+         \x20          (closed-loop load generator; writes BENCH_serve.json)\n\
+         bench:     bench-check <path> (validate a dynamips-bench-v1 record)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
          \x20          --threads N engine worker threads (default: all cores,\n\
          \x20          or DYNAMIPS_THREADS); --timings prints the per-stage\n\
@@ -63,6 +75,18 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut timings = false;
     let mut lint_format: Option<String> = None;
+    let mut serve_addr: Option<String> = None;
+    let mut serve_workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut read_timeout_ms: Option<u64> = None;
+    let mut write_timeout_ms: Option<u64> = None;
+    let mut lt_url: Option<String> = None;
+    let mut lt_concurrency: Option<usize> = None;
+    let mut lt_requests: Option<usize> = None;
+    let mut lt_timeout_ms: Option<u64> = None;
+    let mut bench_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +121,74 @@ fn main() {
             }
             "--timings" => timings = true,
             "--format" => lint_format = Some(args.next().unwrap_or_else(|| usage())),
+            "--addr" => serve_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--serve-workers" => {
+                serve_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--queue" => {
+                queue_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--max-conns" => {
+                max_conns = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--cache-cap" => {
+                cache_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--write-timeout-ms" => {
+                write_timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--url" => lt_url = Some(args.next().unwrap_or_else(|| usage())),
+            "--concurrency" => {
+                lt_concurrency = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--requests" => {
+                lt_requests = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--timeout-ms" => {
+                lt_timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--bench-out" => {
+                bench_out = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
             "--rate" => chaos_rates.push(
                 args.next()
                     .and_then(|v| v.parse().ok())
@@ -193,6 +285,151 @@ fn main() {
         println!("{}", outcome.text);
         if !outcome.ok {
             std::process::exit(EXIT_RUN_FAILURE);
+        }
+        return;
+    }
+
+    // The serving layer takes over the whole invocation: start the HTTP
+    // server over a warm engine and block until `GET /shutdown` drains it.
+    if wanted[0] == "serve" {
+        if wanted.len() != 1 {
+            usage();
+        }
+        // Reference scale by default: small enough that a cold artifact
+        // request warms in seconds, shapes known to hold.
+        cfg = ExperimentConfig {
+            seed: seed.unwrap_or(2020),
+            atlas_scale: atlas_scale.unwrap_or(0.2),
+            cdn_scale: cdn_scale.unwrap_or(0.15),
+        };
+        let serve_cfg = dynamips_serve::ServeConfig {
+            workers: serve_workers.unwrap_or(4),
+            queue_cap: queue_cap.unwrap_or(64),
+            max_conns: max_conns.unwrap_or(256),
+            read_timeout_ms: read_timeout_ms.unwrap_or(5_000),
+            write_timeout_ms: write_timeout_ms.unwrap_or(5_000),
+            ..dynamips_serve::ServeConfig::default()
+        };
+        // Usage errors exit 2 before any socket is bound.
+        if serve_cfg.workers == 0
+            || serve_cfg.queue_cap == 0
+            || serve_cfg.max_conns == 0
+            || cache_cap == Some(0)
+        {
+            eprintln!("serve: --serve-workers, --queue, --max-conns, --cache-cap must be >= 1");
+            std::process::exit(EXIT_USAGE);
+        }
+        let metrics = std::sync::Arc::new(dynamips_serve::Metrics::new());
+        let handler = std::sync::Arc::new(service::ArtifactService::over_engine(
+            cfg,
+            engine::worker_count(threads),
+            cache_cap.unwrap_or(4),
+            std::sync::Arc::clone(&metrics),
+        ));
+        let addr = serve_addr.unwrap_or_else(|| "127.0.0.1:8311".to_string());
+        let server = match dynamips_serve::Server::start(&addr, serve_cfg, handler, metrics) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("serve: cannot bind {addr}: {e}");
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
+        };
+        // The resolved address goes to stdout so scripts driving an
+        // ephemeral-port server (--addr 127.0.0.1:0) can scrape it.
+        println!("dynamips-serve listening on http://{}", server.local_addr());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        eprintln!(
+            "[dynamips] serving seed {} scales {}/{}; GET /shutdown to drain and exit",
+            cfg.seed, cfg.atlas_scale, cfg.cdn_scale
+        );
+        let summary = server.join();
+        eprintln!(
+            "[dynamips] serve drained: {} served, {} rejected, {} disconnect(s)",
+            summary.served, summary.rejected, summary.disconnects
+        );
+        return;
+    }
+
+    // The load generator takes over the whole invocation.
+    if wanted[0] == "loadtest" {
+        if wanted.len() != 1 {
+            usage();
+        }
+        let Some(url) = lt_url else {
+            eprintln!("loadtest: --url is required");
+            std::process::exit(EXIT_USAGE);
+        };
+        let ltcfg = dynamips_serve::LoadtestConfig {
+            url,
+            concurrency: lt_concurrency.unwrap_or(16),
+            requests: lt_requests.unwrap_or(100),
+            timeout_ms: lt_timeout_ms.unwrap_or(10_000),
+        };
+        // Usage errors exit 2 before any socket is opened.
+        if ltcfg.concurrency == 0 || ltcfg.requests == 0 {
+            eprintln!("loadtest: --concurrency and --requests must be >= 1");
+            std::process::exit(EXIT_USAGE);
+        }
+        if let Err(e) = dynamips_serve::client::split_url(&ltcfg.url) {
+            eprintln!("loadtest: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+        let bench_path = bench_out.unwrap_or_else(|| "BENCH_serve.json".into());
+        let probe_dir = match bench_path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let probe = probe_dir.join(".dynamips-write-probe");
+        if let Err(e) = std::fs::write(&probe, b"").and_then(|()| std::fs::remove_file(&probe)) {
+            eprintln!(
+                "loadtest: --bench-out {} is not writable: {e}",
+                bench_path.display()
+            );
+            std::process::exit(EXIT_USAGE);
+        }
+        match dynamips_serve::run_loadtest(&ltcfg) {
+            Ok(report) => {
+                print!("{}", report.render_text());
+                match std::fs::write(&bench_path, report.to_perf_record().to_json()) {
+                    Ok(()) => eprintln!("[dynamips] wrote {}", bench_path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", bench_path.display());
+                        std::process::exit(EXIT_RUN_FAILURE);
+                    }
+                }
+                if !report.all_ok() {
+                    eprintln!("loadtest: not every request was answered 2xx");
+                    std::process::exit(EXIT_RUN_FAILURE);
+                }
+            }
+            Err(e) => {
+                eprintln!("loadtest: {e}");
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
+        }
+        return;
+    }
+
+    // Bench-record validation: parse a dynamips-bench-v1 document.
+    if wanted[0] == "bench-check" {
+        let (Some(path), 2) = (wanted.get(1), wanted.len()) else {
+            usage()
+        };
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| dynamips_core::perf::PerfRecord::parse(&text));
+        match parsed {
+            Ok(record) => println!(
+                "{path}: dynamips-bench-v1 ok ({} phase(s), {} artifact entr(ies), {:.1} ms total)",
+                record.phases.len(),
+                record.artifacts.len(),
+                record.total_ms
+            ),
+            Err(e) => {
+                eprintln!("bench-check {path}: {e}");
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
         }
         return;
     }

@@ -1,0 +1,239 @@
+//! The artifact service behind `dynamips serve`: maps HTTP requests
+//! onto the engine's warm render sessions.
+//!
+//! The service owns a bounded LRU of [`WarmSession`]s keyed by
+//! `(seed, atlas_scale, cdn_scale)`. A request for a configuration the
+//! cache holds renders from warm worlds (a cache hit in `/metrics`);
+//! a new configuration builds its worlds once, evicting the least
+//! recently used session past the capacity bound. Because an artifact's
+//! bytes are a pure function of `(name, seed, scales)`, eviction can
+//! never surface stale text — at worst it costs a rebuild.
+//!
+//! Status mapping: unknown endpoint or artifact name → `404`; malformed
+//! or unknown query parameters → `400`; a rendered artifact whose own
+//! self-check fails (only `check` can) → `500` carrying the report text.
+
+use std::sync::Arc;
+
+use dynamips_serve::{Handler, LruCache, Metrics, Request, Response};
+
+use crate::context::ExperimentConfig;
+use crate::engine::{self, WarmSession};
+
+/// Session-cache key; scales are keyed by bit pattern so the map never
+/// compares floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct SessionKey {
+    seed: u64,
+    atlas_bits: u64,
+    cdn_bits: u64,
+}
+
+impl SessionKey {
+    fn for_config(cfg: &ExperimentConfig) -> SessionKey {
+        SessionKey {
+            seed: cfg.seed,
+            atlas_bits: cfg.atlas_scale.to_bits(),
+            cdn_bits: cfg.cdn_scale.to_bits(),
+        }
+    }
+}
+
+/// HTTP handler exposing the engine's artifacts; see the module docs.
+pub struct ArtifactService {
+    base: ExperimentConfig,
+    workers: usize,
+    sessions: LruCache<SessionKey, WarmSession>,
+    metrics: Arc<Metrics>,
+}
+
+impl ArtifactService {
+    /// A service whose default configuration (when a request carries no
+    /// query parameters) is `base`, holding at most `cache_cap` warm
+    /// sessions, computing cold analyses with `workers` threads.
+    pub fn over_engine(
+        base: ExperimentConfig,
+        workers: usize,
+        cache_cap: usize,
+        metrics: Arc<Metrics>,
+    ) -> ArtifactService {
+        ArtifactService {
+            base,
+            workers: workers.max(1),
+            sessions: LruCache::bounded(cache_cap),
+            metrics,
+        }
+    }
+
+    /// Warm sessions currently resident.
+    pub fn sessions_resident(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Resolve the request configuration: the service default overlaid
+    /// with `seed` / `atlas_scale` / `cdn_scale` query parameters.
+    fn config_from_query(&self, req: &Request) -> Result<ExperimentConfig, String> {
+        let mut cfg = self.base;
+        for (key, value) in &req.query {
+            match key.as_str() {
+                "seed" => {
+                    cfg.seed = value
+                        .parse()
+                        .map_err(|_| format!("seed must be an unsigned integer, got {value:?}"))?;
+                }
+                "atlas_scale" => cfg.atlas_scale = parse_scale("atlas_scale", value)?,
+                "cdn_scale" => cfg.cdn_scale = parse_scale("cdn_scale", value)?,
+                other => {
+                    return Err(format!(
+                        "unknown query parameter {other:?} (expected seed, atlas_scale, cdn_scale)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn render_endpoint(&self, name: &str, req: &Request) -> Response {
+        if !engine::is_known_artifact(name) {
+            return Response::text(
+                404,
+                format!("unknown artifact {name:?}; GET /artifacts for the list\n"),
+            );
+        }
+        let cfg = match self.config_from_query(req) {
+            Ok(cfg) => cfg,
+            Err(why) => return Response::text(400, format!("bad request: {why}\n")),
+        };
+        let lookup = self
+            .sessions
+            .fetch_or_build(SessionKey::for_config(&cfg), || {
+                WarmSession::warm(cfg, self.workers)
+            });
+        self.metrics.record_cache(lookup.hit, lookup.evicted);
+        let rendered = lookup.value.render_artifact(name);
+        if rendered.ok {
+            Response::text(200, rendered.text)
+        } else {
+            // Only `check` (failed predicates) takes this path for known
+            // names; surface the report with a server-side error status.
+            Response::text(500, rendered.text)
+        }
+    }
+
+    fn list_endpoint(&self) -> Response {
+        let mut body = String::new();
+        for name in engine::artifact_names() {
+            body.push_str(name);
+            body.push('\n');
+        }
+        Response::text(200, body)
+    }
+}
+
+impl Handler for ArtifactService {
+    fn respond(&self, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/artifacts" | "/artifacts/" => self.list_endpoint(),
+            path => match path.strip_prefix("/artifacts/") {
+                Some(name) => self.render_endpoint(name, req),
+                None => Response::text(404, format!("no such endpoint {path:?}\n")),
+            },
+        }
+    }
+}
+
+fn parse_scale(key: &str, value: &str) -> Result<f64, String> {
+    let scale: f64 = value
+        .parse()
+        .map_err(|_| format!("{key} must be a number, got {value:?}"))?;
+    if !scale.is_finite() || !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err(format!("{key} must be in (0, 1], got {value:?}"));
+    }
+    Ok(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> ArtifactService {
+        ArtifactService::over_engine(
+            ExperimentConfig {
+                seed: 11,
+                atlas_scale: 0.02,
+                cdn_scale: 0.02,
+            },
+            2,
+            2,
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn renders_listing_and_artifacts() {
+        let svc = service();
+        let listing = svc.respond(&get("/artifacts", &[]));
+        assert_eq!(listing.status, 200);
+        let text = String::from_utf8_lossy(&listing.body).to_string();
+        assert!(
+            text.contains("fig1\n") && text.contains("sanitizer\n"),
+            "{text}"
+        );
+        let fig1 = svc.respond(&get("/artifacts/fig1", &[]));
+        assert_eq!(fig1.status, 200);
+        assert!(!fig1.body.is_empty());
+        // Same config again: the session cache answers warm.
+        svc.respond(&get("/artifacts/fig1", &[]));
+        assert_eq!(svc.sessions_resident(), 1);
+    }
+
+    #[test]
+    fn status_mapping_for_bad_requests() {
+        let svc = service();
+        assert_eq!(svc.respond(&get("/artifacts/TYPO", &[])).status, 404);
+        assert_eq!(svc.respond(&get("/nope", &[])).status, 404);
+        assert_eq!(
+            svc.respond(&get("/artifacts/fig1", &[("seed", "banana")]))
+                .status,
+            400
+        );
+        assert_eq!(
+            svc.respond(&get("/artifacts/fig1", &[("atlas_scale", "7.5")]))
+                .status,
+            400
+        );
+        assert_eq!(
+            svc.respond(&get("/artifacts/fig1", &[("atlas_scale", "0")]))
+                .status,
+            400
+        );
+        assert_eq!(
+            svc.respond(&get("/artifacts/fig1", &[("volume", "11")]))
+                .status,
+            400
+        );
+        // No analysis ran for any of these.
+        assert_eq!(svc.sessions_resident(), 0);
+    }
+
+    #[test]
+    fn query_overrides_select_distinct_sessions() {
+        let svc = service();
+        let a = svc.respond(&get("/artifacts/fig1", &[]));
+        let b = svc.respond(&get("/artifacts/fig1", &[("seed", "12")]));
+        assert_eq!((a.status, b.status), (200, 200));
+        assert_ne!(a.body, b.body, "different seeds render different text");
+        assert_eq!(svc.sessions_resident(), 2);
+    }
+}

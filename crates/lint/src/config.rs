@@ -59,6 +59,9 @@ pub struct Config {
     pub exit_allowed: Vec<String>,
     /// Files allowed to print (binary entry points).
     pub print_allowed: Vec<String>,
+    /// Files/dirs allowed to spawn threads (the parallel engine and the
+    /// serving layer); everything else must stay single-threaded.
+    pub threads_allowed: Vec<String>,
     /// Pipeline entry points for panic-reachability, as `(file, fn-name)`
     /// pairs parsed from `"path/to/file.rs::fn_name"` declarations.
     pub entry_points: Vec<(String, String)>,
@@ -158,6 +161,7 @@ impl Config {
             ("paths", "ingest") => &mut self.ingest_paths,
             ("paths", "exit-allowed") => &mut self.exit_allowed,
             ("paths", "print-allowed") => &mut self.print_allowed,
+            ("paths", "threads-allowed") => &mut self.threads_allowed,
             ("interprocedural", "sinks") => &mut self.sinks,
             ("interprocedural", "dead-pub") => &mut self.dead_pub,
             _ => {

@@ -40,6 +40,15 @@ pub const WALL_CLOCK: Rule = Rule {
     summary: "Instant::now/SystemTime::now outside the perf-exempt timing layer",
 };
 
+/// Concurrency: thread creation stays in the parallel engine and the
+/// serving layer; ad-hoc threads elsewhere reintroduce scheduling
+/// nondeterminism the engine's design deliberately contains.
+pub const THREAD_SPAWN: Rule = Rule {
+    id: "thread-spawn",
+    default_severity: Severity::Deny,
+    summary: "thread::spawn/scope outside the declared threads-allowed layer",
+};
+
 /// Determinism: no OS-entropy randomness anywhere (seeded RNGs only).
 pub const UNSEEDED_RNG: Rule = Rule {
     id: "unseeded-rng",
@@ -132,8 +141,9 @@ pub const STALE_BASELINE: Rule = Rule {
 };
 
 /// Every rule, for docs, pragma validation, and `--list-rules` output.
-pub const ALL_RULES: [Rule; 14] = [
+pub const ALL_RULES: [Rule; 15] = [
     WALL_CLOCK,
+    THREAD_SPAWN,
     UNSEEDED_RNG,
     HASH_ITER,
     PANIC_PATH,
@@ -213,6 +223,7 @@ struct FileScope {
     ingest: bool,
     exit_allowed: bool,
     print_allowed: bool,
+    threads_allowed: bool,
     crate_root: bool,
 }
 
@@ -231,6 +242,7 @@ impl FileScope {
             ingest: Config::path_in(path, &cfg.ingest_paths),
             exit_allowed: Config::path_in(path, &cfg.exit_allowed),
             print_allowed: Config::path_in(path, &cfg.print_allowed),
+            threads_allowed: Config::path_in(path, &cfg.threads_allowed),
             crate_root: path.ends_with("src/lib.rs"),
         }
     }
@@ -389,6 +401,23 @@ pub fn lint_rust(path: &str, src: &ScrubbedSource, cfg: &Config) -> Vec<Finding>
                         &WALL_CLOCK,
                         line0,
                         format!("{needle} outside the perf-exempt timing layer"),
+                    );
+                }
+            }
+        }
+
+        // Concurrency: thread creation outside the declared layer. Tests
+        // may spawn freely (they exercise concurrency on purpose).
+        if !scope.threads_allowed && !in_test {
+            for needle in ["thread::spawn", "thread::scope", ".spawn("] {
+                for _ in token_hits(line, needle) {
+                    push(
+                        &THREAD_SPAWN,
+                        line0,
+                        format!(
+                            "{} outside the threads-allowed layer",
+                            needle.trim_start_matches('.').trim_end_matches('(')
+                        ),
                     );
                 }
             }
@@ -588,7 +617,7 @@ mod tests {
 
     fn cfg() -> Config {
         Config::parse(
-            "[paths]\nrender = [\"crates/x/src/render.rs\"]\nperf-exempt = [\"crates/x/src/perf.rs\"]\npanic-free = [\"crates/x/src\"]\ningest = [\"crates/x/src/parse.rs\"]\nexit-allowed = [\"crates/x/src/main.rs\"]\nprint-allowed = [\"crates/x/src/main.rs\"]\n",
+            "[paths]\nrender = [\"crates/x/src/render.rs\"]\nperf-exempt = [\"crates/x/src/perf.rs\"]\npanic-free = [\"crates/x/src\"]\ningest = [\"crates/x/src/parse.rs\"]\nexit-allowed = [\"crates/x/src/main.rs\"]\nprint-allowed = [\"crates/x/src/main.rs\"]\nthreads-allowed = [\"crates/x/src/perf.rs\"]\n",
         )
         .expect("config")
     }
@@ -617,6 +646,20 @@ mod tests {
         );
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].rule, "panic-path");
+    }
+
+    #[test]
+    fn thread_spawn_fires_outside_allowed_layer_and_tests() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let hits = run("crates/x/src/a.rs", spawn);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "thread-spawn");
+        assert!(run("crates/x/src/perf.rs", spawn).is_empty());
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let hits = run("crates/x/src/a.rs", scoped);
+        assert_eq!(hits.len(), 2, "scope + spawn: {hits:?}");
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(run("crates/x/src/a.rs", in_test).is_empty());
     }
 
     #[test]

@@ -57,6 +57,7 @@ fn fixture_corpus_trips_every_rule() {
         ("print-in-lib", 1),
         ("slice-index", 2),
         ("stale-baseline", 1),
+        ("thread-spawn", 3),
         ("unseeded-rng", 2),
         ("wall-clock", 3),
     ];
@@ -168,6 +169,53 @@ fn injected_wall_clock_in_render_module_is_caught() {
     assert_eq!(findings[0].line, 2);
     // The same content in the timing layer is exempt.
     assert!(lint_path_content("crates/core/src/perf.rs", injected, &cfg).is_empty());
+}
+
+/// Exempting `crates/serve` from the wall-clock ban must not loosen the
+/// rule anywhere else: an `Instant::now()` injected into a non-serve
+/// crate is still caught under the real workspace configuration, while
+/// the identical content under `crates/serve/src` is exempt.
+#[test]
+fn serve_perf_exemption_does_not_leak_to_other_crates() {
+    let cfg_text =
+        std::fs::read_to_string(workspace_root().join("lint.toml")).expect("workspace lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("workspace config parses");
+    let injected =
+        "pub fn sampled() -> u128 {\n    std::time::Instant::now().elapsed().as_millis()\n}\n";
+    for non_serve in [
+        "crates/atlas/src/lease.rs",
+        "crates/cdn/src/dataset.rs",
+        "crates/core/src/stats.rs",
+    ] {
+        let findings = lint_path_content(non_serve, injected, &cfg);
+        assert_eq!(findings.len(), 1, "{non_serve}: {findings:#?}");
+        assert_eq!(findings[0].rule, "wall-clock", "{non_serve}");
+    }
+    assert!(lint_path_content("crates/serve/src/server.rs", injected, &cfg).is_empty());
+}
+
+/// A thread spawn outside the declared concurrency layer is caught under
+/// the real workspace configuration; the same content inside the serving
+/// layer (or the engine) is allowed.
+#[test]
+fn injected_thread_spawn_outside_concurrency_layer_is_caught() {
+    let cfg_text =
+        std::fs::read_to_string(workspace_root().join("lint.toml")).expect("workspace lint.toml");
+    let cfg = Config::parse(&cfg_text).expect("workspace config parses");
+    let injected = "pub fn fan_out() {\n    let _ = std::thread::spawn(|| ()).join();\n}\n";
+    let findings = lint_path_content("crates/core/src/stats.rs", injected, &cfg);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, "thread-spawn");
+    assert_eq!(findings[0].line, 2);
+    for allowed in [
+        "crates/serve/src/server.rs",
+        "crates/experiments/src/engine.rs",
+    ] {
+        assert!(
+            lint_path_content(allowed, injected, &cfg).is_empty(),
+            "{allowed} is in the declared concurrency layer"
+        );
+    }
 }
 
 /// The JSON report of the whole corpus round-trips losslessly.

@@ -1,6 +1,13 @@
-//! Fixture: the declared timing layer may read the wall clock.
-//! Expected: clean.
+//! Fixture: the declared timing layer may read the wall clock, and the
+//! declared concurrency layer may spawn threads (here the same file
+//! plays both roles). Expected: clean.
 
 pub fn stamp() -> std::time::Instant {
     std::time::Instant::now()
+}
+
+pub fn timed_hop() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    let _ = std::thread::spawn(|| ()).join();
+    t.elapsed()
 }

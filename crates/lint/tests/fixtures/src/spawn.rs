@@ -1,0 +1,11 @@
+//! Fixture: thread spawns outside the declared concurrency layer.
+//! Expected: thread-spawn x3.
+
+pub fn fan_out() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}
+
+pub fn scoped() -> i32 {
+    std::thread::scope(|s| s.spawn(|| 2).join().unwrap_or(0))
+}

@@ -1,0 +1,138 @@
+//! A minimal blocking HTTP/1.1 client over `std::net::TcpStream`, used
+//! by the load generator, the CI smoke, and the serve tests. It speaks
+//! exactly the dialect the server emits: one request per connection,
+//! `Connection: close`, body read to EOF.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Hard cap on a response body we are willing to buffer (64 MiB); a
+/// server streaming more than this is answered with an error, not OOM.
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// One fetched response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchResult {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// Response body (after the blank line), read to EOF.
+    pub body: Vec<u8>,
+}
+
+/// Split `http://host:port/path` into (`host:port`, `/path`).
+pub fn split_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported url {url:?}: only http:// is supported"))?;
+    let (authority, path) = match rest.split_once('/') {
+        Some((a, p)) => (a, format!("/{p}")),
+        None => (rest, "/".to_string()),
+    };
+    if authority.is_empty() {
+        return Err(format!("url {url:?} has an empty host"));
+    }
+    Ok((authority.to_string(), path))
+}
+
+/// `GET path` against `addr` (a `host:port`), with one timeout applied
+/// to connect, read, and write independently.
+pub fn http_get(addr: &str, path: &str, timeout_ms: u64) -> Result<FetchResult, String> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    http_request(addr, &request, timeout_ms)
+}
+
+/// Send raw `request` bytes to `addr` and parse whatever comes back as
+/// an HTTP response. Exposed so degraded-mode tests can send torn or
+/// mutated request text through the same transport path.
+pub fn http_request(addr: &str, request: &str, timeout_ms: u64) -> Result<FetchResult, String> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let sockaddr = resolve(addr)?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set_write_timeout: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    let mut raw = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                if raw.len() > MAX_RESPONSE_BYTES {
+                    return Err(format!(
+                        "response from {addr} exceeds {MAX_RESPONSE_BYTES} bytes"
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("read {addr}: {e}")),
+        }
+    }
+    parse_response(&raw)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no addresses"))
+}
+
+fn parse_response(raw: &[u8]) -> Result<FetchResult, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .ok_or_else(|| "response has no head/body separator".to_string())?;
+    let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or(raw));
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    Ok(FetchResult {
+        status,
+        body: raw.get(head_end..).unwrap_or(&[]).to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_urls() {
+        assert_eq!(
+            split_url("http://127.0.0.1:8080/artifacts/fig1?seed=1").unwrap(),
+            (
+                "127.0.0.1:8080".to_string(),
+                "/artifacts/fig1?seed=1".to_string()
+            )
+        );
+        assert_eq!(
+            split_url("http://localhost:9").unwrap(),
+            ("localhost:9".to_string(), "/".to_string())
+        );
+        assert!(split_url("https://x/").is_err());
+        assert!(split_url("http:///path").is_err());
+    }
+
+    #[test]
+    fn parses_responses_and_rejects_garbage() {
+        let ok = parse_response(b"HTTP/1.1 404 Not Found\r\nx: y\r\n\r\nmissing\n").unwrap();
+        assert_eq!(
+            (ok.status, ok.body.as_slice()),
+            (404, b"missing\n".as_slice())
+        );
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+    }
+}

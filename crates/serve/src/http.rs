@@ -1,0 +1,255 @@
+//! Minimal HTTP/1.1 message handling over `std::net` — just enough for
+//! the serving layer: a bounded request-head reader (anything past the
+//! cap is answered `413`, anything structurally broken `400`), a tiny
+//! query-string parser, and a response writer that always sends
+//! `Content-Length` and `Connection: close`. One request per connection
+//! by design: the load generator and the CI smoke open fresh
+//! connections, which keeps worker accounting and admission control
+//! exact.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request line: method, path, and decomposed query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target, without the query.
+    pub path: String,
+    /// `key=value` query pairs in request order (no percent-decoding:
+    /// artifact names and numeric parameters are plain ASCII).
+    pub query: Vec<(String, String)>,
+}
+
+/// What reading one request head produced.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A structurally valid head.
+    Ok(Request),
+    /// Bytes arrived but the request line is not HTTP (`400`).
+    Malformed(&'static str),
+    /// The head exceeded the configured byte cap (`413`).
+    TooLarge,
+    /// The peer vanished (empty read, reset, or timeout) mid-head.
+    Disconnected,
+}
+
+/// Read the request head (request line + headers, up to the blank line)
+/// from `stream`, enforcing `max_head_bytes`. Body bytes are never read:
+/// every served endpoint is `GET`-shaped and bodyless.
+pub fn read_request_head(stream: &mut TcpStream, max_head_bytes: usize) -> ParseOutcome {
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&head) {
+            break end;
+        }
+        if head.len() > max_head_bytes {
+            return ParseOutcome::TooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF without a complete head: an empty probe connection
+                // is a disconnect; partial bytes are a torn request.
+                return if head.is_empty() {
+                    ParseOutcome::Disconnected
+                } else {
+                    ParseOutcome::Malformed("connection closed mid-request-head")
+                };
+            }
+            Ok(n) => head.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(_) => return ParseOutcome::Disconnected,
+        }
+    };
+    parse_request_line(&head, head_end)
+}
+
+/// Offset of the byte after the `\r\n\r\n` (or lenient `\n\n`) head
+/// terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+fn parse_request_line(head: &[u8], head_end: usize) -> ParseOutcome {
+    let text = match std::str::from_utf8(head.get(..head_end).unwrap_or(head)) {
+        Ok(t) => t,
+        Err(_) => return ParseOutcome::Malformed("request head is not UTF-8"),
+    };
+    let Some(line) = text.lines().next() else {
+        return ParseOutcome::Malformed("empty request head");
+    };
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Malformed("request line is not `METHOD TARGET VERSION`");
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return ParseOutcome::Malformed("request line is not HTTP/1.x");
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return ParseOutcome::Malformed("method is not an HTTP token");
+    }
+    if !target.starts_with('/') {
+        return ParseOutcome::Malformed("request target must be origin-form (`/path`)");
+    }
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = Vec::new();
+    for pair in query_text.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.push((k.to_string(), v.to_string()));
+    }
+    ParseOutcome::Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// A response ready to serialize: status, media type, body, and the
+/// optional `Retry-After` the admission controller attaches to `503`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, sent only when present (admission `503`s).
+    pub retry_after_secs: Option<u64>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            retry_after_secs: None,
+        }
+    }
+
+    /// The canonical reason phrase for the status codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// Serialize `resp` onto `stream` with `Content-Length` and
+/// `Connection: close`. I/O errors bubble up so the caller can count the
+/// disconnect; they are never fatal to the worker.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        Response::reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after_secs {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feed `bytes` through a real socket pair into the head reader.
+    fn parse_bytes(bytes: &[u8], cap: usize) -> ParseOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        drop(client); // close so a torn head sees EOF, not a stall
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request_head(&mut server_side, cap)
+    }
+
+    #[test]
+    fn parses_path_and_query() {
+        let out = parse_bytes(
+            b"GET /artifacts/fig1?seed=7&atlas_scale=0.2 HTTP/1.1\r\nHost: x\r\n\r\n",
+            8192,
+        );
+        let ParseOutcome::Ok(req) = out else {
+            panic!("{out:?}");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/artifacts/fig1");
+        assert_eq!(
+            req.query,
+            vec![
+                ("seed".to_string(), "7".to_string()),
+                ("atlas_scale".to_string(), "0.2".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_torn_and_oversized_heads_are_classified() {
+        assert!(matches!(
+            parse_bytes(b"BOGUS\r\n\r\n", 8192),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_bytes(b"GET /x HTTP/1.1\r\nHost", 8192),
+            ParseOutcome::Malformed(_)
+        ));
+        assert!(matches!(parse_bytes(b"", 8192), ParseOutcome::Disconnected));
+        let huge = format!("GET /x HTTP/1.1\r\npad: {}\r\n\r\n", "y".repeat(512));
+        assert!(matches!(
+            parse_bytes(huge.as_bytes(), 64),
+            ParseOutcome::TooLarge
+        ));
+        assert!(matches!(
+            parse_bytes(b"GET relative-target HTTP/1.1\r\n\r\n", 8192),
+            ParseOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_close_and_retry_after() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let mut resp = Response::text(503, "busy\n");
+        resp.retry_after_secs = Some(2);
+        write_response(&mut server_side, &resp).unwrap();
+        drop(server_side);
+        let mut got = String::new();
+        std::io::Read::read_to_string(&mut client, &mut got).unwrap();
+        assert!(
+            got.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{got}"
+        );
+        assert!(got.contains("content-length: 5\r\n"));
+        assert!(got.contains("connection: close\r\n"));
+        assert!(got.contains("retry-after: 2\r\n"));
+        assert!(got.ends_with("\r\n\r\nbusy\n"));
+    }
+}

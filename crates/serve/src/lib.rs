@@ -1,0 +1,50 @@
+//! `dynamips-serve`: the offline-deps HTTP serving layer over the
+//! DynamIPs analysis engine.
+//!
+//! The crate is std-only by policy (the workspace `offline-deps` lint
+//! rule bans registry dependencies), so the whole stack — HTTP framing,
+//! worker pool, metrics, LRU, client, load generator — is built on
+//! `std::net` + `std::thread`:
+//!
+//! - [`http`]: bounded request-head parsing and response writing.
+//! - [`server`]: nonblocking acceptor → bounded queue → fixed worker
+//!   pool, admission control (503 + `Retry-After` when full), per-
+//!   request socket timeouts, connection cap, cooperative drain via
+//!   `GET /shutdown` or a [`ShutdownHandle`].
+//! - [`metrics`]: atomic counters/gauges/histogram with a Prometheus
+//!   text rendering at `GET /metrics`.
+//! - [`lru`]: the bounded LRU the artifact handler uses to keep warm
+//!   simulation worlds, mirroring the engine's `WorldCache` protocol.
+//! - [`client`] / [`loadtest`]: a `TcpStream` HTTP client and the
+//!   closed-loop load generator behind `dynamips loadtest`, which
+//!   reports p50/p90/p99 latency + throughput as `dynamips-bench-v1`.
+//!
+//! The application side (artifact rendering) is deliberately not here:
+//! this crate only knows the [`Handler`] trait. `dynamips-experiments`
+//! implements it on top of the engine and the `dynamips serve`
+//! subcommand wires the two together, which keeps the dependency
+//! direction `experiments -> serve` and the server reusable in tests
+//! with trivial handlers.
+//!
+//! This crate is the one place outside the engine's timing layer where
+//! wall-clock reads and thread spawns are permitted (`lint.toml`
+//! `perf-exempt` / `threads-allowed`); nothing here feeds artifact
+//! bytes, which stay deterministic.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod client;
+pub mod http;
+pub mod loadtest;
+pub mod lru;
+pub mod metrics;
+pub mod server;
+
+pub use client::{http_get, http_request, FetchResult};
+pub use http::{Request, Response};
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use lru::{CacheLookup, LruCache};
+pub use metrics::Metrics;
+pub use server::{Handler, ServeConfig, ServeSummary, Server, ShutdownHandle};

@@ -1,0 +1,329 @@
+//! Closed-loop load generator: `concurrency` worker threads share a
+//! global request budget (an atomic ticket counter) and each issues
+//! `GET`s back-to-back until the budget is spent. Per-request latencies
+//! are pooled and summarized as nearest-rank percentiles; the whole
+//! report can be serialized into the workspace's `dynamips-bench-v1`
+//! schema so the serving path joins the perf trajectory next to
+//! `BENCH_all.json`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dynamips_core::perf::{PerfEntry, PerfRecord};
+
+use crate::client;
+
+/// Parameters for one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Target URL, e.g. `http://127.0.0.1:8080/artifacts/fig1`.
+    pub url: String,
+    /// Closed-loop worker threads (each has one request in flight).
+    pub concurrency: usize,
+    /// Total requests to issue across all workers.
+    pub requests: usize,
+    /// Per-request connect/read/write timeout, milliseconds.
+    pub timeout_ms: u64,
+}
+
+/// Aggregated results of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Target URL.
+    pub url: String,
+    /// Worker threads used.
+    pub concurrency: usize,
+    /// Requests attempted.
+    pub requests: usize,
+    /// Requests that produced an HTTP response (any status).
+    pub completed: usize,
+    /// Requests answered with a 2xx status.
+    pub ok_2xx: usize,
+    /// Responses by status code.
+    pub by_status: BTreeMap<u16, usize>,
+    /// Requests that failed at the transport layer (connect/read/write).
+    pub transport_errors: usize,
+    /// Total body bytes received.
+    pub body_bytes: u64,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub total_ms: f64,
+    /// Nearest-rank latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest observed request, milliseconds.
+    pub max_ms: f64,
+    /// Completed requests per second over the run.
+    pub throughput_rps: f64,
+}
+
+/// One request's outcome as recorded by a worker: status (0 for a
+/// transport error), latency, body size.
+struct Sample {
+    status: u16,
+    latency_ms: f64,
+    body_bytes: u64,
+}
+
+/// Run the closed loop described by `cfg`. Fails fast on an unusable
+/// URL; individual request failures are counted, not fatal.
+pub fn run_loadtest(cfg: &LoadtestConfig) -> Result<LoadtestReport, String> {
+    if cfg.concurrency == 0 {
+        return Err("concurrency must be >= 1".to_string());
+    }
+    if cfg.requests == 0 {
+        return Err("requests must be >= 1".to_string());
+    }
+    let (addr, path) = client::split_url(&cfg.url)?;
+    let tickets = Arc::new(AtomicUsize::new(cfg.requests));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..cfg.concurrency.min(cfg.requests) {
+        let tickets = Arc::clone(&tickets);
+        let addr = addr.clone();
+        let path = path.clone();
+        let timeout_ms = cfg.timeout_ms;
+        handles.push(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while take_ticket(&tickets) {
+                let t0 = Instant::now();
+                let sample = match client::http_get(&addr, &path, timeout_ms) {
+                    Ok(got) => Sample {
+                        status: got.status,
+                        latency_ms: elapsed_ms(t0),
+                        body_bytes: got.body.len() as u64,
+                    },
+                    Err(_) => Sample {
+                        status: 0,
+                        latency_ms: elapsed_ms(t0),
+                        body_bytes: 0,
+                    },
+                };
+                samples.push(sample);
+            }
+            samples
+        }));
+    }
+    let mut samples: Vec<Sample> = Vec::with_capacity(cfg.requests);
+    for handle in handles {
+        match handle.join() {
+            Ok(batch) => samples.extend(batch),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    let total_ms = elapsed_ms(started);
+    Ok(summarize(cfg, samples, total_ms))
+}
+
+fn take_ticket(tickets: &AtomicUsize) -> bool {
+    tickets
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+fn elapsed_ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1000.0
+}
+
+fn summarize(cfg: &LoadtestConfig, samples: Vec<Sample>, total_ms: f64) -> LoadtestReport {
+    let mut by_status = BTreeMap::new();
+    let mut latencies = Vec::with_capacity(samples.len());
+    let mut transport_errors = 0usize;
+    let mut ok_2xx = 0usize;
+    let mut body_bytes = 0u64;
+    for s in &samples {
+        if s.status == 0 {
+            transport_errors += 1;
+        } else {
+            *by_status.entry(s.status).or_insert(0) += 1;
+            if (200..300).contains(&s.status) {
+                ok_2xx += 1;
+            }
+        }
+        body_bytes += s.body_bytes;
+        latencies.push(s.latency_ms);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let completed = samples.len() - transport_errors;
+    let throughput_rps = if total_ms > 0.0 {
+        completed as f64 / (total_ms / 1000.0)
+    } else {
+        0.0
+    };
+    LoadtestReport {
+        url: cfg.url.clone(),
+        concurrency: cfg.concurrency,
+        requests: cfg.requests,
+        completed,
+        ok_2xx,
+        by_status,
+        transport_errors,
+        body_bytes,
+        total_ms,
+        p50_ms: percentile(&latencies, 0.50),
+        p90_ms: percentile(&latencies, 0.90),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        throughput_rps,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms.get(rank - 1).copied().unwrap_or(0.0)
+}
+
+impl LoadtestReport {
+    /// Every attempted request came back 2xx.
+    pub fn all_ok(&self) -> bool {
+        self.transport_errors == 0 && self.ok_2xx == self.requests
+    }
+
+    /// Human-readable summary for stderr.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadtest {}: {} requests, concurrency {}\n",
+            self.url, self.requests, self.concurrency
+        ));
+        out.push_str(&format!(
+            "  completed {} ({} ok, {} transport errors) in {:.1} ms -> {:.1} req/s\n",
+            self.completed, self.ok_2xx, self.transport_errors, self.total_ms, self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "  latency ms: p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}\n",
+            self.p50_ms, self.p90_ms, self.p99_ms, self.max_ms
+        ));
+        for (status, n) in &self.by_status {
+            out.push_str(&format!("  status {status}: {n}\n"));
+        }
+        out
+    }
+
+    /// Map the report into the workspace bench schema
+    /// (`dynamips-bench-v1`): percentiles and throughput become phase
+    /// entries, per-status counts become artifact entries, so the
+    /// existing schema checker validates `BENCH_serve.json` unchanged.
+    pub fn to_perf_record(&self) -> PerfRecord {
+        let mut record = PerfRecord {
+            seed: 0,
+            atlas_scale: 0.0,
+            cdn_scale: 0.0,
+            workers: self.concurrency,
+            worlds_built: 0,
+            total_ms: self.total_ms,
+            phases: [
+                ("latency-p50-ms", self.p50_ms),
+                ("latency-p90-ms", self.p90_ms),
+                ("latency-p99-ms", self.p99_ms),
+                ("latency-max-ms", self.max_ms),
+                ("throughput-rps", self.throughput_rps),
+            ]
+            .into_iter()
+            .map(|(name, ms)| PerfEntry {
+                name: name.to_string(),
+                ms,
+            })
+            .collect(),
+            artifacts: Vec::new(),
+        };
+        for (status, n) in &self.by_status {
+            record.artifacts.push(PerfEntry {
+                name: format!("status-{status}"),
+                ms: *n as f64,
+            });
+        }
+        record.artifacts.push(PerfEntry {
+            name: "transport-errors".to_string(),
+            ms: self.transport_errors as f64,
+        });
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.90), 90.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[5.0], 0.99), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summarize_counts_statuses_and_errors() {
+        let cfg = LoadtestConfig {
+            url: "http://h:1/p".to_string(),
+            concurrency: 2,
+            requests: 4,
+            timeout_ms: 100,
+        };
+        let samples = vec![
+            Sample {
+                status: 200,
+                latency_ms: 1.0,
+                body_bytes: 10,
+            },
+            Sample {
+                status: 200,
+                latency_ms: 3.0,
+                body_bytes: 10,
+            },
+            Sample {
+                status: 503,
+                latency_ms: 0.5,
+                body_bytes: 5,
+            },
+            Sample {
+                status: 0,
+                latency_ms: 100.0,
+                body_bytes: 0,
+            },
+        ];
+        let report = summarize(&cfg, samples, 50.0);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.ok_2xx, 2);
+        assert_eq!(report.transport_errors, 1);
+        assert_eq!(report.by_status.get(&503), Some(&1));
+        assert!(!report.all_ok());
+        let record = report.to_perf_record();
+        assert_eq!(record.workers, 2);
+        assert!(record.phases.iter().any(|e| e.name == "latency-p99-ms"));
+        assert!(record
+            .artifacts
+            .iter()
+            .any(|e| e.name == "status-200" && e.ms == 2.0));
+        let text = report.render_text();
+        assert!(text.contains("status 503: 1"), "{text}");
+    }
+
+    #[test]
+    fn rejects_zero_concurrency_and_requests_before_any_io() {
+        let bad = LoadtestConfig {
+            url: "http://127.0.0.1:1/".to_string(),
+            concurrency: 0,
+            requests: 1,
+            timeout_ms: 10,
+        };
+        assert!(run_loadtest(&bad).is_err());
+        let bad2 = LoadtestConfig {
+            concurrency: 1,
+            requests: 0,
+            ..bad
+        };
+        assert!(run_loadtest(&bad2).is_err());
+    }
+}

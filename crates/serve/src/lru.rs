@@ -1,0 +1,199 @@
+//! A small, thread-safe, bounded LRU keyed by `Ord` keys.
+//!
+//! The shape mirrors the engine's `WorldCache` two-phase protocol: the
+//! map lock is held only long enough to claim a per-key `OnceLock` slot;
+//! the (potentially very expensive) value construction runs outside the
+//! lock inside `OnceLock::get_or_init`, so concurrent requests for the
+//! same key build the value exactly once while requests for other keys
+//! proceed unblocked. Eviction removes the least-recently-used *map
+//! entries*; in-flight builders keep their slot alive via `Arc`, so an
+//! evicted-while-building value is still returned to its requesters and
+//! simply isn't cached afterwards — a stale value can never be served
+//! because a key's bytes are a pure function of the key.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+struct Entry<V> {
+    slot: Arc<OnceLock<Arc<V>>>,
+    last_used: u64,
+}
+
+struct Inner<K, V> {
+    map: BTreeMap<K, Entry<V>>,
+    tick: u64,
+    evictions: u64,
+}
+
+/// Outcome of one cache lookup.
+pub struct CacheLookup<V> {
+    /// The cached (or freshly built) value.
+    pub value: Arc<V>,
+    /// Whether the key was already present (its builder may still have
+    /// been in flight; "hit" means no second build was started).
+    pub hit: bool,
+    /// How many entries this lookup evicted to stay within capacity.
+    pub evicted: u64,
+}
+
+/// Bounded LRU cache; see the module docs for the locking protocol.
+pub struct LruCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    cap: usize,
+}
+
+impl<K: Ord + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (floored at 1).
+    pub fn bounded(cap: usize) -> LruCache<K, V> {
+        LruCache {
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                tick: 0,
+                evictions: 0,
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Fetch `key`, building the value with `build` on a miss. `build`
+    /// runs without the map lock held.
+    pub fn fetch_or_build<F: FnOnce() -> V>(&self, key: K, build: F) -> CacheLookup<V> {
+        let (slot, hit, evicted) = {
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.tick += 1;
+            let tick = inner.tick;
+            let (slot, hit) = match inner.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    (Arc::clone(&entry.slot), true)
+                }
+                None => {
+                    let slot = Arc::new(OnceLock::new());
+                    inner.map.insert(
+                        key.clone(),
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            last_used: tick,
+                        },
+                    );
+                    (slot, false)
+                }
+            };
+            let mut evicted = 0u64;
+            while inner.map.len() > self.cap {
+                // Evict the least-recently-used entry that is not the
+                // key we just touched.
+                let victim = inner
+                    .map
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(v) => {
+                        inner.map.remove(&v);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+            inner.evictions += evicted;
+            (slot, hit, evicted)
+        };
+        let value = Arc::clone(slot.get_or_init(|| Arc::new(build())));
+        CacheLookup {
+            value,
+            hit,
+            evicted,
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn second_lookup_is_a_hit_and_builds_once() {
+        let cache: LruCache<u32, u64> = LruCache::bounded(4);
+        let builds = AtomicU64::new(0);
+        let a = cache.fetch_or_build(7, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            70
+        });
+        let b = cache.fetch_or_build(7, || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            71
+        });
+        assert!(!a.hit);
+        assert!(b.hit);
+        assert_eq!((*a.value, *b.value), (70, 70));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let cache: LruCache<u32, u32> = LruCache::bounded(2);
+        cache.fetch_or_build(1, || 1);
+        cache.fetch_or_build(2, || 2);
+        cache.fetch_or_build(1, || 10); // touch 1 so 2 is now LRU
+        let third = cache.fetch_or_build(3, || 3);
+        assert_eq!(third.evicted, 1);
+        assert_eq!(cache.len(), 2);
+        // Key 2 was evicted; rebuilding it is a miss with the new value,
+        // and reinserting it pushes out key 1 (now the LRU entry).
+        let back = cache.fetch_or_build(2, || 22);
+        assert!(!back.hit);
+        assert_eq!(*back.value, 22);
+        assert_eq!(back.evicted, 1);
+        let one = cache.fetch_or_build(1, || 99);
+        assert!(!one.hit);
+        assert_eq!(*one.value, 99);
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_exactly_once() {
+        let cache: Arc<LruCache<u8, String>> = Arc::new(LruCache::bounded(2));
+        let builds = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            handles.push(std::thread::spawn(move || {
+                let got = cache.fetch_or_build(1, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    "value".to_string()
+                });
+                got.value.clone()
+            }));
+        }
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), "value");
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! The server proper: a nonblocking acceptor feeding a fixed worker
+//! pool through a bounded queue, with admission control at the front
+//! door and graceful drain at the back.
+//!
+//! Load-shedding philosophy (the "503-on-full" rule): the queue and the
+//! connection count are both hard-bounded, and when either bound is hit
+//! the *acceptor* answers `503` + `Retry-After` inline instead of
+//! buffering. Under overload the server therefore degrades to fast,
+//! explicit rejections rather than unbounded memory growth and
+//! timeout-shaped collapse. Shutdown is cooperative: `GET /shutdown`
+//! (or a [`ShutdownHandle`]) flips a flag; the acceptor stops taking
+//! connections, workers drain everything already queued or in flight,
+//! and [`Server::join`] returns once the pool is idle. (The process
+//! hosting the server is free of `unsafe`, so there is no OS signal
+//! handler; the drain path is exposed as an endpoint instead.)
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, ParseOutcome, Request, Response};
+use crate::metrics::Metrics;
+
+/// Application-side request handling: the server resolves its own
+/// endpoints (`/healthz`, `/metrics`, `/shutdown`, `/`) and hands
+/// everything else to the installed handler.
+pub trait Handler: Send + Sync + 'static {
+    /// Map one parsed request to a response. Must not panic; encode
+    /// failures as 4xx/5xx responses.
+    fn respond(&self, req: &Request) -> Response;
+}
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue of accepted-but-unclaimed connections; admission
+    /// control rejects past this.
+    pub queue_cap: usize,
+    /// Hard cap on simultaneously open connections (queued + in-flight).
+    pub max_conns: usize,
+    /// Per-connection socket read timeout, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout, milliseconds.
+    pub write_timeout_ms: u64,
+    /// `Retry-After` seconds attached to admission 503s.
+    pub retry_after_secs: u64,
+    /// Maximum accepted request-head size in bytes (413 past this).
+    pub max_head_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            max_conns: 256,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            retry_after_secs: 1,
+            max_head_bytes: 8_192,
+        }
+    }
+}
+
+/// Counters reported by [`Server::join`] after the drain completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written by workers (includes error statuses).
+    pub served: u64,
+    /// Connections rejected 503 by admission control.
+    pub rejected: u64,
+    /// Peers that vanished before a response could be written.
+    pub disconnects: u64,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+    metrics: Arc<Metrics>,
+    handler: Arc<dyn Handler>,
+}
+
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A clonable trigger for the cooperative drain, usable from tests and
+/// embedding code without an HTTP round-trip.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Flip the shutdown flag and wake every idle worker.
+    pub fn begin_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Whether the drain has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.available.notify_all();
+}
+
+/// A running server: an acceptor thread plus `cfg.workers` workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: thread::JoinHandle<()>,
+    workers: Vec<thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the acceptor and worker pool.
+    pub fn start(
+        addr: &str,
+        cfg: ServeConfig,
+        handler: Arc<dyn Handler>,
+        metrics: Arc<Metrics>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+            metrics,
+            handler,
+        });
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(thread::spawn(move || worker_loop(&shared)));
+        }
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = thread::spawn(move || accept_loop(&listener, &acceptor_shared));
+        Ok(Server {
+            shared,
+            acceptor,
+            workers,
+            addr: local,
+        })
+    }
+
+    /// The bound address (resolves the actual port for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can trigger the drain programmatically.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Block until shutdown is requested (via `/shutdown` or a
+    /// [`ShutdownHandle`]) and the pool has drained every connection it
+    /// accepted, then return final counters.
+    pub fn join(self) -> ServeSummary {
+        join_thread(self.acceptor);
+        for w in self.workers {
+            join_thread(w);
+        }
+        ServeSummary {
+            served: self.shared.metrics.responses_total() - self.shared.metrics.admission_rejects(),
+            rejected: self.shared.metrics.admission_rejects(),
+            disconnects: self.shared.metrics.disconnects(),
+        }
+    }
+}
+
+fn join_thread(handle: thread::JoinHandle<()>) {
+    if let Err(payload) = handle.join() {
+        // A worker panicking is a bug; surface it instead of hiding it.
+        std::panic::resume_unwind(payload);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Unblock any worker still parked on the condvar.
+    shared.available.notify_all();
+}
+
+/// Admission control: reject inline with 503 when either bound is hit,
+/// otherwise enqueue for the worker pool.
+fn admit(shared: &Shared, stream: TcpStream) {
+    let m = &shared.metrics;
+    let accepted_at = Instant::now();
+    let mut queue = lock_queue(shared);
+    let over_queue = queue.len() >= shared.cfg.queue_cap;
+    let over_conns = m.open_connections() >= shared.cfg.max_conns as u64;
+    if over_queue || over_conns {
+        drop(queue);
+        reject(shared, stream, accepted_at);
+        return;
+    }
+    m.conn_opened();
+    m.queue_enter();
+    queue.push_back((stream, accepted_at));
+    drop(queue);
+    shared.available.notify_one();
+}
+
+fn reject(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
+    let m = &shared.metrics;
+    m.record_admission_reject();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    // Drain the request head before answering: closing a socket with
+    // unread bytes in its receive buffer makes the kernel RST the
+    // connection, tearing the 503 out from under the client. The read is
+    // bounded by max_head_bytes and the read timeout.
+    let _ = http::read_request_head(&mut stream, shared.cfg.max_head_bytes);
+    let mut resp = Response::text(503, "server is at capacity; retry shortly\n");
+    resp.retry_after_secs = Some(shared.cfg.retry_after_secs);
+    match http::write_response(&mut stream, &resp) {
+        Ok(()) => m.record_response(503, accepted_at.elapsed().as_micros() as u64),
+        Err(_) => m.record_disconnect(),
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock_queue(shared);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.queue_leave();
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // The timeout guards against a notify racing the park;
+                // correctness only needs the flag re-check.
+                let (guard, _timed_out) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        match job {
+            Some((stream, accepted_at)) => serve_connection(shared, stream, accepted_at),
+            None => return,
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
+    let m = &shared.metrics;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    let resp = match http::read_request_head(&mut stream, shared.cfg.max_head_bytes) {
+        ParseOutcome::Ok(req) => route(shared, &req),
+        ParseOutcome::Malformed(why) => Response::text(400, format!("bad request: {why}\n")),
+        ParseOutcome::TooLarge => Response::text(413, "request head exceeds the configured cap\n"),
+        ParseOutcome::Disconnected => {
+            m.record_disconnect();
+            m.conn_closed();
+            return;
+        }
+    };
+    match http::write_response(&mut stream, &resp) {
+        Ok(()) => m.record_response(resp.status, accepted_at.elapsed().as_micros() as u64),
+        Err(_) => m.record_disconnect(),
+    }
+    m.conn_closed();
+}
+
+/// Server-owned endpoints; anything unrecognized goes to the handler.
+fn route(shared: &Shared, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::text(405, "only GET is served\n");
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::text(200, "ok\n"),
+        "/metrics" => Response::text(200, shared.metrics.render_prometheus()),
+        "/shutdown" => {
+            begin_shutdown(shared);
+            Response::text(200, "draining\n")
+        }
+        "/" => Response::text(
+            200,
+            "dynamips-serve\n\nGET /artifacts            list artifact names\nGET /artifacts/<name>     render one artifact (?seed=&atlas_scale=&cdn_scale=)\nGET /healthz              liveness probe\nGET /metrics              Prometheus text metrics\nGET /shutdown             drain in-flight requests and exit\n",
+        ),
+        _ => shared.handler.respond(req),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    /// Echoes the path back; the simplest possible application handler.
+    struct Echo;
+    impl Handler for Echo {
+        fn respond(&self, req: &Request) -> Response {
+            Response::text(200, format!("echo {}\n", req.path))
+        }
+    }
+
+    #[test]
+    fn serves_builtin_and_handler_routes_then_drains() {
+        let metrics = Arc::new(Metrics::new());
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServeConfig::default(),
+            Arc::new(Echo),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let health = client::http_get(&addr, "/healthz", 2_000).unwrap();
+        assert_eq!(
+            (health.status, health.body.as_slice()),
+            (200, b"ok\n".as_slice())
+        );
+        let echoed = client::http_get(&addr, "/some/app/path", 2_000).unwrap();
+        assert_eq!(echoed.status, 200);
+        assert_eq!(echoed.body, b"echo /some/app/path\n");
+        let metrics_page = client::http_get(&addr, "/metrics", 2_000).unwrap();
+        assert!(String::from_utf8_lossy(&metrics_page.body)
+            .contains("dynamips_serve_requests_total{code=\"200\"}"));
+        let bye = client::http_get(&addr, "/shutdown", 2_000).unwrap();
+        assert_eq!(bye.status, 200);
+        let summary = server.join();
+        assert!(summary.served >= 4, "{summary:?}");
+        assert_eq!(summary.rejected, 0);
+    }
+
+    #[test]
+    fn non_get_is_405_and_shutdown_handle_drains_without_traffic() {
+        let metrics = Arc::new(Metrics::new());
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServeConfig::default(),
+            Arc::new(Echo),
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let resp =
+            client::http_request(&addr, "POST / HTTP/1.1\r\nHost: x\r\n\r\n", 2_000).unwrap();
+        assert_eq!(resp.status, 405);
+        let handle = server.shutdown_handle();
+        assert!(!handle.is_shutting_down());
+        handle.begin_shutdown();
+        assert!(handle.is_shutting_down());
+        let summary = server.join();
+        assert_eq!(summary.rejected, 0);
+        assert_eq!(summary.served, 1);
+    }
+}

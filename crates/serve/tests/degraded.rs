@@ -1,0 +1,183 @@
+//! Degraded-operation acceptance: hostile or broken input — malformed
+//! request lines, oversized heads, premature disconnects, and
+//! chaos-mutated request text — must map to clean 4xx responses or
+//! counted disconnects, never a panic or a wedged worker. Each test
+//! finishes by proving the server still answers `/healthz`.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dynamips_chaos::corrupt_tsv;
+use dynamips_serve::{http_get, Handler, Metrics, Request, Response, ServeConfig, Server};
+
+/// Minimal application handler: one known route, 404 for the rest.
+struct OneRoute;
+
+impl Handler for OneRoute {
+    fn respond(&self, req: &Request) -> Response {
+        if req.path == "/app" {
+            Response::text(200, "app ok\n")
+        } else {
+            Response::text(404, format!("no such endpoint {:?}\n", req.path))
+        }
+    }
+}
+
+fn start_server(metrics: &Arc<Metrics>) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        ServeConfig::default(),
+        Arc::new(OneRoute),
+        Arc::clone(metrics),
+    )
+    .expect("bind ephemeral")
+}
+
+/// Send raw bytes and read whatever comes back (empty if the server
+/// hangs up without a response, which is legal for torn requests).
+fn exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    // Half-close the sending side: a mutated head that lost its blank
+    // line terminator must hit EOF (→ 400) instead of the read timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).to_string()
+}
+
+fn assert_healthy(addr: &str) {
+    let health = http_get(addr, "/healthz", 10_000).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, b"ok\n");
+}
+
+#[test]
+fn malformed_request_lines_get_400_not_a_panic() {
+    let metrics = Arc::new(Metrics::new());
+    let server = start_server(&metrics);
+    let addr = server.local_addr().to_string();
+
+    let cases: &[&[u8]] = &[
+        b"BOGUS\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /x SPDY/9\r\n\r\n",
+        b"get /lowercase HTTP/1.1\r\n\r\n",
+        b"GET relative-target HTTP/1.1\r\n\r\n",
+        b"GET /x HTTP/1.1 extra-token\r\n\r\n",
+        b"\xff\xfe not utf8 \xff\r\n\r\n",
+    ];
+    for case in cases {
+        let got = exchange(&addr, case);
+        assert!(
+            got.starts_with("HTTP/1.1 400 Bad Request\r\n"),
+            "case {:?} got: {got}",
+            String::from_utf8_lossy(case)
+        );
+    }
+    assert_eq!(metrics.responses_with_status(400), cases.len() as u64);
+    assert_healthy(&addr);
+
+    server.shutdown_handle().begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_heads_get_413_and_unknown_routes_404() {
+    let metrics = Arc::new(Metrics::new());
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_head_bytes: 256,
+            ..ServeConfig::default()
+        },
+        Arc::new(OneRoute),
+        Arc::clone(&metrics),
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+
+    let huge = format!("GET /app HTTP/1.1\r\npad: {}\r\n\r\n", "y".repeat(4 * 1024));
+    let got = exchange(&addr, huge.as_bytes());
+    assert!(got.starts_with("HTTP/1.1 413 "), "{got}");
+
+    let missing = http_get(&addr, "/not/served", 10_000).expect("404 route");
+    assert_eq!(missing.status, 404);
+    let app = http_get(&addr, "/app", 10_000).expect("app route");
+    assert_eq!(
+        (app.status, app.body.as_slice()),
+        (200, b"app ok\n".as_slice())
+    );
+    assert_healthy(&addr);
+
+    server.shutdown_handle().begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn premature_disconnects_are_counted_not_fatal() {
+    let metrics = Arc::new(Metrics::new());
+    let server = start_server(&metrics);
+    let addr = server.local_addr().to_string();
+
+    for _ in 0..8 {
+        // Connect and vanish without sending a byte.
+        let stream = TcpStream::connect(&addr).expect("connect");
+        drop(stream);
+    }
+    for _ in 0..4 {
+        // Send half a request head, then vanish.
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let _ = stream.write_all(b"GET /app HTT");
+        drop(stream);
+    }
+    // The pool must still serve; torn heads surface as 400 or counted
+    // disconnects depending on how much the worker saw before EOF.
+    assert_healthy(&addr);
+
+    server.shutdown_handle().begin_shutdown();
+    let summary = server.join();
+    assert_eq!(summary.rejected, 0, "{summary:?}");
+}
+
+/// Chaos sweep over the request text itself: seeded mutations of a valid
+/// request must always produce *some* orderly outcome — a parsed 2xx/4xx
+/// response or a counted disconnect — and never wedge the server.
+#[test]
+fn mutated_request_heads_never_wedge_the_server() {
+    let metrics = Arc::new(Metrics::new());
+    let server = start_server(&metrics);
+    let addr = server.local_addr().to_string();
+
+    let pristine =
+        "GET /app?seed=7&atlas_scale=0.2 HTTP/1.1\r\nhost: chaos\r\naccept: text/plain\r\n\r\n";
+    let mut outcomes = std::collections::BTreeMap::new();
+    for seed in 0..64u64 {
+        let (mutated, _log) = corrupt_tsv(pristine, seed, 0.3);
+        let got = exchange(&addr, mutated.as_bytes());
+        let label = got
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .unwrap_or("hangup")
+            .to_string();
+        *outcomes.entry(label).or_insert(0u32) += 1;
+        // Whatever the mutation did, the next probe must be answered.
+        assert_healthy(&addr);
+    }
+    // The sweep must exercise both clean parses and rejections; a sweep
+    // where every mutation still parsed would prove nothing.
+    assert!(
+        outcomes.keys().any(|k| k.starts_with('4')),
+        "no mutation was rejected: {outcomes:?}"
+    );
+    assert!(metrics.responses_total() > 64, "healthz probes + mutations");
+
+    server.shutdown_handle().begin_shutdown();
+    server.join();
+}
