@@ -41,6 +41,8 @@ rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x \
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for unwritable --bench-out, got $rc"; exit 1; }
 rc=0; "$BIN" serve --serve-workers 0 >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for --serve-workers 0, got $rc"; exit 1; }
+rc=0; "$BIN" chaos-serve --requests 0 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for chaos-serve --requests 0, got $rc"; exit 1; }
 
 say "serve smoke: ephemeral port, loadtest, clean drain"
 rm -f target/serve.log target/serve.err target/BENCH_serve.json
@@ -70,5 +72,11 @@ if kill -0 "$SERVE_PID" 2>/dev/null; then
     exit 1
 fi
 wait "$SERVE_PID" || { echo "serve exited nonzero"; exit 1; }
+
+say "chaos-serve smoke: faults injected, zero visible 5xx, bytes identical"
+rm -f target/BENCH_chaos_serve.json
+"$BIN" chaos-serve --seed 7 --rate 0.0 --rate 0.2 --requests 12 --timeout-ms 800 \
+    --bench-out target/BENCH_chaos_serve.json
+"$BIN" bench-check target/BENCH_chaos_serve.json
 
 say "ci: all stages passed"

@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod net;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::borrow::Cow;

@@ -15,7 +15,11 @@
 //! renderers fan out across a worker pool — byte-identical to a
 //! single-thread run. The [`chaos`] module drives the adversarial-ingest
 //! sweep (`dynamips chaos`): corrupt the TSV dumps, re-ingest through the
-//! lossy loaders, and verify the paper shapes survive.
+//! lossy loaders, and verify the paper shapes survive. Its network twin,
+//! [`chaos_serve`], drives loadtest traffic through a fault-injecting
+//! TCP proxy (`dynamips chaos-serve`) and asserts the serving stack's
+//! robustness invariants: byte-identical 2xx bodies, zero client-visible
+//! 5xx, clean drains.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,6 +30,7 @@
 pub mod atlas_exps;
 pub mod cdn_exps;
 pub mod chaos;
+pub mod chaos_serve;
 pub mod check;
 pub mod claims;
 pub mod context;

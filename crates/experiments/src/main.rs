@@ -6,6 +6,7 @@
 //! dynamips table1 fig5    # a subset
 //! dynamips --threads 8 --timings all   # parallel engine + wall-time table
 //! dynamips chaos --rate 0.01 --seeds 5   # adversarial-ingest sweep
+//! dynamips chaos-serve --seed 7          # network-fault serving sweep
 //! dynamips lint [--format json]          # workspace invariant checker
 //! dynamips serve --addr 127.0.0.1:0      # HTTP serving layer
 //! dynamips loadtest --url http://127.0.0.1:8311/artifacts/fig1
@@ -17,9 +18,10 @@
 //! after minutes of computation.
 //!
 //! Exit codes: `0` on success, `1` on a run failure (I/O error, failed
-//! `check` predicates, failed `chaos` sweep), `2` on a usage error.
+//! `check` predicates, failed `chaos` or `chaos-serve` sweep), `2` on a
+//! usage error.
 
-use dynamips_experiments::{chaos, engine, extended, service, ExperimentConfig};
+use dynamips_experiments::{chaos, chaos_serve, engine, extended, service, ExperimentConfig};
 
 /// Exit code for usage errors (bad flags, unknown artifacts).
 const EXIT_USAGE: i32 = 2;
@@ -36,6 +38,12 @@ fn usage() -> ! {
          \x20          (corrupt the TSV dumps, re-ingest through the lossy\n\
          \x20          loaders, verify the paper shapes survive; defaults to\n\
          \x20          the reference scale: seed 2020, scales 0.2/0.15)\n\
+         chaos-serve: chaos-serve [--rate R]... [--requests N]\n\
+         \x20          [--timeout-ms N] [--fail-threshold T] [--bench-out PATH]\n\
+         \x20          (route loadtest traffic through a fault-injecting TCP\n\
+         \x20          proxy at each rate; every 2xx must be byte-identical to\n\
+         \x20          the warm engine, no client-visible 5xx, clean drain;\n\
+         \x20          writes BENCH_chaos_serve.json)\n\
          lint:      lint [--format text|json|sarif]\n\
          \x20          (check the workspace's determinism, panic-freedom,\n\
          \x20          and offline-build invariants against lint.toml)\n\
@@ -70,6 +78,8 @@ fn main() {
     let mut cdn_scale: Option<f64> = None;
     let mut chaos_opts = chaos::ChaosOptions::default();
     let mut chaos_rates: Vec<f64> = Vec::new();
+    // Shared by `chaos` and `chaos-serve`, whose defaults differ.
+    let mut fail_threshold: Option<f64> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut threads: Option<usize> = None;
@@ -202,10 +212,11 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--fail-threshold" => {
-                chaos_opts.fail_threshold = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                fail_threshold = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -277,12 +288,77 @@ fn main() {
         if !chaos_rates.is_empty() {
             chaos_opts.rates = chaos_rates;
         }
+        if let Some(t) = fail_threshold {
+            chaos_opts.fail_threshold = t;
+        }
         eprintln!(
             "[dynamips] chaos sweep over rates {:?} ({} seeds each)...",
             chaos_opts.rates, chaos_opts.seeds
         );
         let outcome = chaos::run(&cfg, &chaos_opts);
         println!("{}", outcome.text);
+        if !outcome.ok {
+            std::process::exit(EXIT_RUN_FAILURE);
+        }
+        return;
+    }
+
+    // The network-chaos serving sweep takes over the whole invocation.
+    if wanted[0] == "chaos-serve" {
+        if wanted.len() != 1 {
+            usage();
+        }
+        // A deliberately small scale: the sweep rebuilds a session per
+        // rate, and it measures fault handling, not engine throughput.
+        cfg = ExperimentConfig {
+            seed: seed.unwrap_or(7),
+            atlas_scale: atlas_scale.unwrap_or(0.02),
+            cdn_scale: cdn_scale.unwrap_or(0.02),
+        };
+        let mut cs_opts = chaos_serve::ChaosServeOptions::default();
+        if !chaos_rates.is_empty() {
+            cs_opts.rates = chaos_rates;
+        }
+        if let Some(n) = lt_requests {
+            cs_opts.requests = n;
+        }
+        if let Some(ms) = lt_timeout_ms {
+            cs_opts.timeout_ms = ms;
+        }
+        if let Some(t) = fail_threshold {
+            cs_opts.fail_threshold = t;
+        }
+        // Usage errors exit 2 before any socket is bound or world built.
+        if cs_opts.rates.is_empty() || cs_opts.requests == 0 || cs_opts.timeout_ms == 0 {
+            eprintln!("chaos-serve: --rate, --requests, --timeout-ms must be >= 1");
+            std::process::exit(EXIT_USAGE);
+        }
+        let bench_path = bench_out.unwrap_or_else(|| "BENCH_chaos_serve.json".into());
+        let probe_dir = match bench_path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        let probe = probe_dir.join(".dynamips-write-probe");
+        if let Err(e) = std::fs::write(&probe, b"").and_then(|()| std::fs::remove_file(&probe)) {
+            eprintln!(
+                "chaos-serve: --bench-out {} is not writable: {e}",
+                bench_path.display()
+            );
+            std::process::exit(EXIT_USAGE);
+        }
+        eprintln!(
+            "[dynamips] chaos-serve sweep over rates {:?} ({} request(s) each)...",
+            cs_opts.rates, cs_opts.requests
+        );
+        let outcome = chaos_serve::run(&cfg, &cs_opts, engine::worker_count(threads));
+        print!("{}", outcome.text);
+        match std::fs::write(&bench_path, outcome.perf.to_json()) {
+            Ok(()) => eprintln!("[dynamips] wrote {}", bench_path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", bench_path.display());
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
+        }
         if !outcome.ok {
             std::process::exit(EXIT_RUN_FAILURE);
         }

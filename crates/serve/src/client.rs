@@ -1,10 +1,27 @@
 //! A minimal blocking HTTP/1.1 client over `std::net::TcpStream`, used
-//! by the load generator, the CI smoke, and the serve tests. It speaks
-//! exactly the dialect the server emits: one request per connection,
-//! `Connection: close`, body read to EOF.
+//! by the load generator, the CI smoke, the chaos sweep, and the serve
+//! tests. It speaks exactly the dialect the server emits: one request
+//! per connection, `Connection: close`, body read to EOF.
+//!
+//! Two layers live here. The transport layer ([`http_get`] /
+//! [`http_request`]) performs a single strict exchange: it tries every
+//! resolved address of the endpoint, requires an `HTTP/1.`-prefixed
+//! status line, and cross-checks `Content-Length` against the bytes
+//! actually received — so torn writes and corrupted responses surface
+//! as errors instead of silently wrong bodies. The resilience layer
+//! ([`ResilientClient`]) wraps it with a bounded [`RetryPolicy`]
+//! (exponential backoff, deterministic seeded jitter via
+//! [`JitterSource`], `Retry-After` honored) and a per-endpoint
+//! [`CircuitBreaker`], with every retry and breaker transition counted
+//! in [`ClientMetrics`]. Only idempotent `GET`s are ever retried: the
+//! resilient layer exposes no other verb, and raw [`http_request`]
+//! exchanges are never replayed.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Hard cap on a response body we are willing to buffer (64 MiB); a
@@ -18,6 +35,8 @@ pub struct FetchResult {
     pub status: u16,
     /// Response body (after the blank line), read to EOF.
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` header seconds, when the server sent one.
+    pub retry_after_secs: Option<u64>,
 }
 
 /// Split `http://host:port/path` into (`host:port`, `/path`).
@@ -47,9 +66,7 @@ pub fn http_get(addr: &str, path: &str, timeout_ms: u64) -> Result<FetchResult, 
 /// mutated request text through the same transport path.
 pub fn http_request(addr: &str, request: &str, timeout_ms: u64) -> Result<FetchResult, String> {
     let timeout = Duration::from_millis(timeout_ms.max(1));
-    let sockaddr = resolve(addr)?;
-    let mut stream = TcpStream::connect_timeout(&sockaddr, timeout)
-        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut stream = connect_any(addr, timeout)?;
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| format!("set_read_timeout: {e}"))?;
@@ -78,35 +95,559 @@ pub fn http_request(addr: &str, request: &str, timeout_ms: u64) -> Result<FetchR
     parse_response(&raw)
 }
 
-fn resolve(addr: &str) -> Result<SocketAddr, String> {
-    addr.to_socket_addrs()
+/// Resolve `addr` and try to connect to every resolved address in
+/// order; the error surfaced on total failure names the last address
+/// that was tried and how many were attempted.
+fn connect_any(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let addrs: Vec<SocketAddr> = addr
+        .to_socket_addrs()
         .map_err(|e| format!("resolve {addr}: {e}"))?
-        .next()
-        .ok_or_else(|| format!("resolve {addr}: no addresses"))
+        .collect();
+    if addrs.is_empty() {
+        return Err(format!("resolve {addr}: no addresses"));
+    }
+    let total = addrs.len();
+    let mut last: Option<(SocketAddr, std::io::Error)> = None;
+    for sockaddr in addrs {
+        match TcpStream::connect_timeout(&sockaddr, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some((sockaddr, e)),
+        }
+    }
+    match last {
+        Some((sockaddr, e)) => Err(format!(
+            "connect {addr}: {e} (last tried {sockaddr}; {total} address(es) attempted)"
+        )),
+        None => Err(format!("resolve {addr}: no addresses")),
+    }
 }
 
+/// Strict response parsing: the status line must be `HTTP/1.`-shaped
+/// and, when the server declared `Content-Length`, the body must match
+/// it exactly — a shorter body is a torn write, a longer one is trailing
+/// garbage, and both are reported as transport errors so retry logic
+/// can treat them as such.
 fn parse_response(raw: &[u8]) -> Result<FetchResult, String> {
     let head_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .map(|p| p + 4)
         .ok_or_else(|| "response has no head/body separator".to_string())?;
-    let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or(raw));
+    let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or(raw)).to_string();
     let status_line = head.lines().next().unwrap_or("");
+    if !status_line.starts_with("HTTP/1.") {
+        return Err(format!("status line {status_line:?} is not HTTP/1.x"));
+    }
     let status = status_line
         .split(' ')
         .nth(1)
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let body = raw.get(head_end..).unwrap_or(&[]).to_vec();
+    if let Some(declared) = header_value(&head, "content-length") {
+        match declared.parse::<usize>() {
+            Ok(n) if n == body.len() => {}
+            Ok(n) => {
+                return Err(format!(
+                    "content-length {n} but {} body bytes arrived (torn response)",
+                    body.len()
+                ))
+            }
+            Err(_) => return Err(format!("unparseable content-length {declared:?}")),
+        }
+    }
+    let retry_after_secs = header_value(&head, "retry-after").and_then(|v| v.parse::<u64>().ok());
     Ok(FetchResult {
         status,
-        body: raw.get(head_end..).unwrap_or(&[]).to_vec(),
+        body,
+        retry_after_secs,
     })
+}
+
+/// The (trimmed) value of the first header named `name`, matched
+/// case-insensitively.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines().skip(1).find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| value.trim().to_string())
+    })
+}
+
+/// A deterministic jitter source (SplitMix64): the same seed yields the
+/// same jitter sequence, so retry schedules are reproducible and tests
+/// never need wall-clock sleeps to reason about them.
+#[derive(Debug, Clone)]
+pub struct JitterSource {
+    state: u64,
+}
+
+impl JitterSource {
+    /// A jitter stream seeded with `seed`.
+    pub fn seeded(seed: u64) -> JitterSource {
+        JitterSource { state: seed }
+    }
+
+    /// Next raw 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn in_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Bounded-retry policy for idempotent GETs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (floored at 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, milliseconds; doubles per
+    /// further attempt.
+    pub base_backoff_ms: u64,
+    /// Ceiling on the exponential backoff, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Ceiling applied to a server-sent `Retry-After`, milliseconds
+    /// (a confused server cannot park the client for minutes).
+    pub retry_after_cap_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 25,
+            max_backoff_ms: 1_000,
+            retry_after_cap_ms: 2_000,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered exponential backoff before attempt `next_attempt`
+    /// (2-based: the wait that precedes the second attempt is
+    /// `backoff_ms(2, ..)`). Equal-jitter: half the exponential value is
+    /// fixed, the other half drawn from the seeded jitter stream.
+    pub fn backoff_ms(&self, next_attempt: u32, jitter: &mut JitterSource) -> u64 {
+        let exponent = next_attempt.saturating_sub(2).min(16);
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << exponent)
+            .min(self.max_backoff_ms);
+        let half = exp / 2;
+        half + jitter.in_range(exp - half + 1)
+    }
+
+    /// How long to wait before `next_attempt`, honoring a server-sent
+    /// `Retry-After` (capped). Returns the wait in milliseconds and
+    /// whether the `Retry-After` value governed it.
+    pub fn retry_wait_ms(
+        &self,
+        next_attempt: u32,
+        retry_after_secs: Option<u64>,
+        jitter: &mut JitterSource,
+    ) -> (u64, bool) {
+        let backoff = self.backoff_ms(next_attempt, jitter);
+        match retry_after_secs {
+            Some(secs) => {
+                let hinted = secs.saturating_mul(1_000).min(self.retry_after_cap_ms);
+                (backoff.max(hinted), hinted >= backoff)
+            }
+            None => (backoff, false),
+        }
+    }
+}
+
+/// Circuit-breaker tunables.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Calls fast-failed while open before the next call is admitted as
+    /// a half-open probe. Counting calls instead of wall-clock time
+    /// keeps the state machine fully deterministic.
+    pub cooldown_rejects: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown_rejects: 3,
+        }
+    }
+}
+
+/// Breaker states, in the classic closed → open → half-open cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every call is admitted.
+    Closed,
+    /// Tripped: calls fast-fail until the cooldown count elapses.
+    Open,
+    /// Cooling down: exactly one probe call is in flight; its outcome
+    /// decides whether the breaker closes or re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What the breaker decided about one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Proceed normally.
+    Allow,
+    /// Proceed, but as the half-open probe (the breaker just moved
+    /// open → half-open).
+    Probe,
+    /// Fast-fail without touching the network.
+    FastFail,
+}
+
+/// A per-endpoint circuit breaker. Deliberately wall-clock-free: the
+/// open → half-open transition is driven by the count of fast-failed
+/// calls, not elapsed time, so behavior is a pure function of the call
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    rejected_since_open: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `cfg`.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rejected_since_open: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate one call.
+    pub fn admit(&mut self) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open => {
+                if self.rejected_since_open >= self.cfg.cooldown_rejects {
+                    self.state = BreakerState::HalfOpen;
+                    BreakerDecision::Probe
+                } else {
+                    self.rejected_since_open += 1;
+                    BreakerDecision::FastFail
+                }
+            }
+            // Only one probe at a time; concurrent calls fast-fail
+            // until its outcome is recorded.
+            BreakerState::HalfOpen => BreakerDecision::FastFail,
+        }
+    }
+
+    /// Record a successful call. Returns `true` when this closed the
+    /// breaker (half-open probe succeeded).
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a failed call. Returns `true` when this tripped the
+    /// breaker open (threshold reached, or half-open probe failed).
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.rejected_since_open = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.rejected_since_open = 0;
+                self.consecutive_failures = self.cfg.failure_threshold;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+/// Client-side counters: every attempt, retry, failure class, and
+/// breaker transition. All atomics, so one registry can be shared by
+/// concurrent callers.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    successes: AtomicU64,
+    transport_errors: AtomicU64,
+    server_5xx: AtomicU64,
+    retry_after_honored: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_probes: AtomicU64,
+    breaker_closes: AtomicU64,
+    breaker_fast_fails: AtomicU64,
+}
+
+macro_rules! counter {
+    ($bump:ident, $get:ident, $field:ident, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+        fn $bump(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+}
+
+impl ClientMetrics {
+    /// Fresh, all-zero registry.
+    pub fn new() -> ClientMetrics {
+        ClientMetrics::default()
+    }
+
+    counter!(
+        bump_attempts,
+        attempts_total,
+        attempts,
+        "Network attempts made (excludes fast-fails)."
+    );
+    counter!(
+        bump_retries,
+        retries_total,
+        retries,
+        "Attempts that were retries of an earlier failure."
+    );
+    counter!(
+        bump_successes,
+        successes_total,
+        successes,
+        "Requests that returned a definitive response."
+    );
+    counter!(
+        bump_transport_errors,
+        transport_errors_total,
+        transport_errors,
+        "Attempts that died in transport (connect/read/parse)."
+    );
+    counter!(
+        bump_server_5xx,
+        server_5xx_total,
+        server_5xx,
+        "Attempts answered with a retryable 5xx."
+    );
+    counter!(
+        bump_retry_after,
+        retry_after_honored_total,
+        retry_after_honored,
+        "Backoffs governed by a server `Retry-After`."
+    );
+    counter!(
+        bump_breaker_opens,
+        breaker_opens_total,
+        breaker_opens,
+        "Breaker transitions into open."
+    );
+    counter!(
+        bump_breaker_probes,
+        breaker_probes_total,
+        breaker_probes,
+        "Breaker transitions into half-open (probe admitted)."
+    );
+    counter!(
+        bump_breaker_closes,
+        breaker_closes_total,
+        breaker_closes,
+        "Breaker transitions back to closed."
+    );
+    counter!(
+        bump_breaker_fast_fails,
+        breaker_fast_fails_total,
+        breaker_fast_fails,
+        "Calls fast-failed by an open breaker."
+    );
+
+    /// One-line summary for reports.
+    pub fn render(&self) -> String {
+        format!(
+            "attempts={} retries={} ok={} transport-errors={} http-5xx={} retry-after={} breaker(open={} probe={} close={} fast-fail={})",
+            self.attempts_total(),
+            self.retries_total(),
+            self.successes_total(),
+            self.transport_errors_total(),
+            self.server_5xx_total(),
+            self.retry_after_honored_total(),
+            self.breaker_opens_total(),
+            self.breaker_probes_total(),
+            self.breaker_closes_total(),
+            self.breaker_fast_fails_total(),
+        )
+    }
+}
+
+/// A retrying, circuit-breaking GET client over the strict transport
+/// layer. Retries only idempotent GETs by construction; every decision
+/// that affects the schedule (jitter, cooldown) is seeded, so a given
+/// failure sequence always produces the same retry trace.
+pub struct ResilientClient {
+    policy: RetryPolicy,
+    breaker_cfg: BreakerConfig,
+    breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
+    jitter: Mutex<JitterSource>,
+    metrics: ClientMetrics,
+}
+
+impl ResilientClient {
+    /// A client with `policy` and per-endpoint breakers under
+    /// `breaker_cfg`.
+    pub fn new(policy: RetryPolicy, breaker_cfg: BreakerConfig) -> ResilientClient {
+        let jitter = JitterSource::seeded(policy.jitter_seed);
+        ResilientClient {
+            policy,
+            breaker_cfg,
+            breakers: Mutex::new(BTreeMap::new()),
+            jitter: Mutex::new(jitter),
+            metrics: ClientMetrics::new(),
+        }
+    }
+
+    /// The client-side counters.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// Current breaker state for `addr` (closed if never used).
+    pub fn breaker_state(&self, addr: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(addr)
+            .map(|b| b.state())
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    fn with_breaker<T>(&self, addr: &str, f: impl FnOnce(&mut CircuitBreaker) -> T) -> T {
+        let mut breakers = self.breakers.lock().unwrap_or_else(PoisonError::into_inner);
+        let breaker = breakers
+            .entry(addr.to_string())
+            .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg.clone()));
+        f(breaker)
+    }
+
+    /// `GET path` against `addr` with retries and circuit breaking.
+    /// Definitive responses (anything below 500) are returned as `Ok`
+    /// immediately; transport errors and 5xx are retried up to the
+    /// policy bound, after which the last 5xx is returned as `Ok` (the
+    /// caller sees the status) and the last transport error as `Err`.
+    pub fn get(&self, addr: &str, path: &str, timeout_ms: u64) -> Result<FetchResult, String> {
+        let mut attempt: u32 = 0;
+        let max_attempts = self.policy.max_attempts.max(1);
+        loop {
+            attempt += 1;
+            match self.with_breaker(addr, |b| b.admit()) {
+                BreakerDecision::Allow => {}
+                BreakerDecision::Probe => self.metrics.bump_breaker_probes(),
+                BreakerDecision::FastFail => {
+                    self.metrics.bump_breaker_fast_fails();
+                    return Err(format!("circuit breaker open for {addr} (fast fail)"));
+                }
+            }
+            self.metrics.bump_attempts();
+            if attempt > 1 {
+                self.metrics.bump_retries();
+            }
+            let outcome = http_get(addr, path, timeout_ms);
+            match outcome {
+                Ok(result) if result.status < 500 => {
+                    if self.with_breaker(addr, |b| b.record_success()) {
+                        self.metrics.bump_breaker_closes();
+                    }
+                    self.metrics.bump_successes();
+                    return Ok(result);
+                }
+                Ok(result) => {
+                    // Retryable server error.
+                    self.metrics.bump_server_5xx();
+                    if self.with_breaker(addr, |b| b.record_failure()) {
+                        self.metrics.bump_breaker_opens();
+                    }
+                    if attempt >= max_attempts {
+                        return Ok(result);
+                    }
+                    let (wait_ms, honored) = {
+                        let mut jitter = self.jitter.lock().unwrap_or_else(PoisonError::into_inner);
+                        self.policy
+                            .retry_wait_ms(attempt + 1, result.retry_after_secs, &mut jitter)
+                    };
+                    if honored {
+                        self.metrics.bump_retry_after();
+                    }
+                    std::thread::sleep(Duration::from_millis(wait_ms));
+                }
+                Err(e) => {
+                    self.metrics.bump_transport_errors();
+                    if self.with_breaker(addr, |b| b.record_failure()) {
+                        self.metrics.bump_breaker_opens();
+                    }
+                    if attempt >= max_attempts {
+                        return Err(format!("{e} (after {attempt} attempts)"));
+                    }
+                    let wait_ms = {
+                        let mut jitter = self.jitter.lock().unwrap_or_else(PoisonError::into_inner);
+                        self.policy.backoff_ms(attempt + 1, &mut jitter)
+                    };
+                    std::thread::sleep(Duration::from_millis(wait_ms));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+    use std::thread;
 
     #[test]
     fn splits_urls() {
@@ -127,12 +668,206 @@ mod tests {
 
     #[test]
     fn parses_responses_and_rejects_garbage() {
-        let ok = parse_response(b"HTTP/1.1 404 Not Found\r\nx: y\r\n\r\nmissing\n").unwrap();
+        let ok =
+            parse_response(b"HTTP/1.1 404 Not Found\r\nx: y\r\nRetry-After: 3\r\n\r\nmissing\n")
+                .unwrap();
         assert_eq!(
-            (ok.status, ok.body.as_slice()),
-            (404, b"missing\n".as_slice())
+            (ok.status, ok.body.as_slice(), ok.retry_after_secs),
+            (404, b"missing\n".as_slice(), Some(3))
         );
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
+        // A corrupted status line is a transport error even with a
+        // plausible shape after the damage.
+        assert!(parse_response(b"XTTP/1.1 200 OK\r\n\r\nok").is_err());
+    }
+
+    #[test]
+    fn content_length_mismatch_is_a_torn_response() {
+        let torn = parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nhal");
+        assert!(torn.unwrap_err().contains("torn response"));
+        let exact = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nhal").unwrap();
+        assert_eq!(exact.body, b"hal");
+        // No declared length: body is whatever EOF delimited.
+        let lenless = parse_response(b"HTTP/1.1 200 OK\r\n\r\nwhatever").unwrap();
+        assert_eq!(lenless.body, b"whatever");
+    }
+
+    #[test]
+    fn connect_error_names_the_address_it_tried() {
+        // Bind-then-drop guarantees a dead port.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let err = http_get(&addr, "/", 200).unwrap_err();
+        assert!(err.contains("connect"), "{err}");
+        assert!(err.contains("last tried"), "{err}");
+        assert!(err.contains("address(es) attempted"), "{err}");
+    }
+
+    #[test]
+    fn jitter_and_backoff_are_deterministic_in_the_seed() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 16,
+            max_backoff_ms: 100,
+            retry_after_cap_ms: 500,
+            jitter_seed: 99,
+        };
+        let mut a = JitterSource::seeded(99);
+        let mut b = JitterSource::seeded(99);
+        let seq_a: Vec<u64> = (2..6).map(|n| policy.backoff_ms(n, &mut a)).collect();
+        let seq_b: Vec<u64> = (2..6).map(|n| policy.backoff_ms(n, &mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+        // Equal-jitter bounds: between half the exponential and the cap.
+        assert!(seq_a[0] >= 8 && seq_a[0] <= 16, "{seq_a:?}");
+        assert!(seq_a.iter().all(|ms| *ms <= 100), "{seq_a:?}");
+        let mut c = JitterSource::seeded(100);
+        let seq_c: Vec<u64> = (2..6).map(|n| policy.backoff_ms(n, &mut c)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn retry_after_governs_the_wait_when_larger_and_is_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 50,
+            retry_after_cap_ms: 300,
+            jitter_seed: 1,
+        };
+        let mut jitter = JitterSource::seeded(1);
+        let (wait, honored) = policy.retry_wait_ms(2, Some(1), &mut jitter);
+        assert!(honored);
+        assert_eq!(wait, 300, "1s hint capped at 300ms");
+        let (wait, honored) = policy.retry_wait_ms(2, None, &mut jitter);
+        assert!(!honored);
+        assert!(wait <= 50);
+    }
+
+    #[test]
+    fn breaker_opens_on_threshold_and_probe_success_closes() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rejects: 2,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), BreakerDecision::Allow);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third failure trips the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown counted in fast-failed calls, fully deterministic.
+        assert_eq!(b.admit(), BreakerDecision::FastFail);
+        assert_eq!(b.admit(), BreakerDecision::FastFail);
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent call during the probe is rejected.
+        assert_eq!(b.admit(), BreakerDecision::FastFail);
+        assert!(b.record_success(), "probe success closes");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn breaker_probe_failure_reopens_with_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_rejects: 1,
+        });
+        assert!(b.record_failure(), "threshold 1 opens immediately");
+        assert_eq!(b.admit(), BreakerDecision::FastFail);
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        assert!(b.record_failure(), "probe failure re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        // The cooldown starts over after the failed probe.
+        assert_eq!(b.admit(), BreakerDecision::FastFail);
+        assert_eq!(b.admit(), BreakerDecision::Probe);
+        assert!(b.record_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_rejects: 1,
+        });
+        assert!(!b.record_failure());
+        assert!(!b.record_success());
+        assert!(!b.record_failure(), "count restarted after the success");
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn resilient_get_retries_transport_errors_and_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = thread::spawn(move || {
+            // First connection: accept and hang up (torn exchange).
+            let (first, _) = listener.accept().unwrap();
+            drop(first);
+            // Second connection: answer properly.
+            let (mut second, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 2048];
+            let mut head = Vec::new();
+            while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                match second.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => head.extend_from_slice(&buf[..n]),
+                }
+            }
+            second
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\n\r\nok\n")
+                .unwrap();
+        });
+        let client = ResilientClient::new(
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                max_backoff_ms: 4,
+                retry_after_cap_ms: 10,
+                jitter_seed: 5,
+            },
+            BreakerConfig::default(),
+        );
+        let got = client.get(&addr, "/x", 2_000).unwrap();
+        assert_eq!((got.status, got.body.as_slice()), (200, b"ok\n".as_slice()));
+        let m = client.metrics();
+        assert_eq!(m.attempts_total(), 2);
+        assert_eq!(m.retries_total(), 1);
+        assert_eq!(m.transport_errors_total(), 1);
+        assert_eq!(m.successes_total(), 1);
+        assert_eq!(client.breaker_state(&addr), BreakerState::Closed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn resilient_get_fast_fails_once_the_breaker_opens() {
+        // A dead endpoint: bind, note the port, drop the listener.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let client = ResilientClient::new(
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                retry_after_cap_ms: 10,
+                jitter_seed: 5,
+            },
+            BreakerConfig {
+                failure_threshold: 3,
+                cooldown_rejects: 10,
+            },
+        );
+        let err = client.get(&addr, "/x", 100).unwrap_err();
+        assert!(err.contains("after 3 attempts"), "{err}");
+        assert_eq!(client.breaker_state(&addr), BreakerState::Open);
+        let fast = client.get(&addr, "/x", 100).unwrap_err();
+        assert!(fast.contains("circuit breaker open"), "{fast}");
+        assert_eq!(client.metrics().breaker_opens_total(), 1);
+        assert!(client.metrics().breaker_fast_fails_total() >= 1);
     }
 }

@@ -124,7 +124,15 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds, sent only when present (admission `503`s).
     pub retry_after_secs: Option<u64>,
+    /// `Warning` header value, sent only when present. Degraded-mode
+    /// responses carry `110 dynamips-serve "stale-while-revalidate"` so
+    /// clients can tell a fresh render from served-stale bytes.
+    pub warning: Option<&'static str>,
 }
+
+/// The `Warning` header value attached to stale-while-revalidate
+/// responses (RFC 7234 warn-code 110, "Response is Stale").
+pub const WARNING_STALE: &str = "110 dynamips-serve \"stale-while-revalidate\"";
 
 impl Response {
     /// A `text/plain` response.
@@ -134,7 +142,15 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
             retry_after_secs: None,
+            warning: None,
         }
+    }
+
+    /// Mark this response as served from stale bytes (attaches the
+    /// [`WARNING_STALE`] header).
+    pub fn mark_stale(mut self) -> Response {
+        self.warning = Some(WARNING_STALE);
+        self
     }
 
     /// The canonical reason phrase for the status codes this server emits.
@@ -166,6 +182,9 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Resul
     );
     if let Some(secs) = resp.retry_after_secs {
         head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    if let Some(warning) = resp.warning {
+        head.push_str(&format!("warning: {warning}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -237,7 +256,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
-        let mut resp = Response::text(503, "busy\n");
+        let mut resp = Response::text(503, "busy\n").mark_stale();
         resp.retry_after_secs = Some(2);
         write_response(&mut server_side, &resp).unwrap();
         drop(server_side);
@@ -250,6 +269,10 @@ mod tests {
         assert!(got.contains("content-length: 5\r\n"));
         assert!(got.contains("connection: close\r\n"));
         assert!(got.contains("retry-after: 2\r\n"));
+        assert!(
+            got.contains("warning: 110 dynamips-serve \"stale-while-revalidate\"\r\n"),
+            "{got}"
+        );
         assert!(got.ends_with("\r\n\r\nbusy\n"));
     }
 }

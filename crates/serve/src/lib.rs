@@ -19,6 +19,15 @@
 //!   closed-loop load generator behind `dynamips loadtest`, which
 //!   reports p50/p90/p99 latency + throughput as `dynamips-bench-v1`.
 //!
+//! Failure model (PR 6): the worker pool is supervised — worker panics
+//! are caught, counted, and the slot respawned with exponential
+//! backoff and a crash-loop cap. The client side layers a
+//! [`RetryPolicy`] (bounded attempts, seeded-jitter backoff,
+//! `Retry-After` honored, GET-only) and a per-endpoint
+//! [`CircuitBreaker`] over the strict transport, with every transition
+//! counted in [`ClientMetrics`]; `chaos::net`'s fault-injecting proxy
+//! drives the whole stack in the `dynamips chaos-serve` sweep.
+//!
 //! The application side (artifact rendering) is deliberately not here:
 //! this crate only knows the [`Handler`] trait. `dynamips-experiments`
 //! implements it on top of the engine and the `dynamips serve`
@@ -42,8 +51,11 @@ pub mod lru;
 pub mod metrics;
 pub mod server;
 
-pub use client::{http_get, http_request, FetchResult};
-pub use http::{Request, Response};
+pub use client::{
+    http_get, http_request, BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker,
+    ClientMetrics, FetchResult, JitterSource, ResilientClient, RetryPolicy,
+};
+pub use http::{Request, Response, WARNING_STALE};
 pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
 pub use lru::{CacheLookup, LruCache};
 pub use metrics::Metrics;

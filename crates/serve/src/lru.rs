@@ -79,24 +79,7 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
                     (slot, false)
                 }
             };
-            let mut evicted = 0u64;
-            while inner.map.len() > self.cap {
-                // Evict the least-recently-used entry that is not the
-                // key we just touched.
-                let victim = inner
-                    .map
-                    .iter()
-                    .filter(|(k, _)| **k != key)
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone());
-                match victim {
-                    Some(v) => {
-                        inner.map.remove(&v);
-                        evicted += 1;
-                    }
-                    None => break,
-                }
-            }
+            let evicted = evict_over_cap(&mut inner, self.cap, &key);
             inner.evictions += evicted;
             (slot, hit, evicted)
         };
@@ -106,6 +89,51 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
             hit,
             evicted,
         }
+    }
+
+    /// Insert (or replace) an already-built value for `key`, touching
+    /// its recency and evicting over-capacity entries. Returns how many
+    /// entries were evicted. Used by the stale-bytes cache, where
+    /// values arrive ready rather than through a builder.
+    pub fn insert(&self, key: K, value: V) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let slot = Arc::new(OnceLock::new());
+        let _ = slot.set(Arc::new(value));
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                slot,
+                last_used: tick,
+            },
+        );
+        let evicted = evict_over_cap(&mut inner, self.cap, &key);
+        inner.evictions += evicted;
+        evicted
+    }
+
+    /// Fetch a ready value for `key` without building, touching its
+    /// recency. Returns `None` on a miss or while a builder for the key
+    /// is still in flight.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = tick;
+        entry.slot.get().cloned()
+    }
+
+    /// Whether `key` is resident with a ready value (does not touch
+    /// recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .get(key)
+            .is_some_and(|e| e.slot.get().is_some())
     }
 
     /// Entries currently resident.
@@ -129,6 +157,28 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
             .unwrap_or_else(PoisonError::into_inner)
             .evictions
     }
+}
+
+/// Evict least-recently-used entries (never `keep`) until the map fits
+/// in `cap`; returns how many were removed.
+fn evict_over_cap<K: Ord + Clone, V>(inner: &mut Inner<K, V>, cap: usize, keep: &K) -> u64 {
+    let mut evicted = 0u64;
+    while inner.map.len() > cap {
+        let victim = inner
+            .map
+            .iter()
+            .filter(|(k, _)| *k != keep)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        match victim {
+            Some(v) => {
+                inner.map.remove(&v);
+                evicted += 1;
+            }
+            None => break,
+        }
+    }
+    evicted
 }
 
 #[cfg(test)]
@@ -173,6 +223,25 @@ mod tests {
         assert!(!one.hit);
         assert_eq!(*one.value, 99);
         assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn insert_get_and_contains_track_recency_and_capacity() {
+        let cache: LruCache<u32, &'static str> = LruCache::bounded(2);
+        assert!(cache.get(&1).is_none());
+        assert!(!cache.contains(&1));
+        assert_eq!(cache.insert(1, "one"), 0);
+        assert_eq!(cache.insert(2, "two"), 0);
+        assert!(cache.contains(&1));
+        assert_eq!(cache.get(&1).as_deref(), Some(&"one"));
+        // Key 2 is now LRU (the get touched 1); inserting 3 evicts it.
+        assert_eq!(cache.insert(3, "three"), 1);
+        assert!(!cache.contains(&2));
+        assert!(cache.contains(&1) && cache.contains(&3));
+        // Replacing a resident key keeps capacity and updates the value.
+        assert_eq!(cache.insert(1, "uno"), 0);
+        assert_eq!(cache.get(&1).as_deref(), Some(&"uno"));
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     /// Warm worlds evicted by the LRU bound.
     cache_evictions: AtomicU64,
+    /// Worker threads that died to a caught panic.
+    worker_panics: AtomicU64,
+    /// Workers respawned by the supervisor after a panic.
+    worker_respawns: AtomicU64,
+    /// Responses served from stale bytes instead of a fresh render.
+    degraded_responses: AtomicU64,
 }
 
 impl Metrics {
@@ -146,6 +152,42 @@ impl Metrics {
         if evicted > 0 {
             self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+    }
+
+    /// Connections currently queued awaiting a worker (gauge read,
+    /// used by saturation-triggered degraded serving).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A worker thread panicked and was caught by the supervisor.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker panics so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// The supervisor respawned a worker.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker respawns so far.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// A response was served from stale bytes (`Warning: 110`).
+    pub fn record_degraded_response(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Degraded (stale-served) responses so far.
+    pub fn degraded_responses(&self) -> u64 {
+        self.degraded_responses.load(Ordering::Relaxed)
     }
 
     /// (hits, misses, evictions) so far.
@@ -256,6 +298,24 @@ impl Metrics {
                 "counter",
                 self.cache_evictions.load(Ordering::Relaxed),
             ),
+            (
+                "dynamips_serve_worker_panics_total",
+                "Worker threads that died to a caught panic.",
+                "counter",
+                self.worker_panics.load(Ordering::Relaxed),
+            ),
+            (
+                "dynamips_serve_worker_respawns_total",
+                "Workers respawned by the supervisor after a panic.",
+                "counter",
+                self.worker_respawns.load(Ordering::Relaxed),
+            ),
+            (
+                "dynamips_serve_degraded_responses_total",
+                "Responses served from stale bytes (Warning: 110).",
+                "counter",
+                self.degraded_responses.load(Ordering::Relaxed),
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -304,12 +364,35 @@ mod tests {
         m.record_cache(false, 0);
         m.record_cache(true, 0);
         m.record_cache(false, 2);
+        assert_eq!(m.queue_depth(), 1);
         m.queue_leave();
         m.conn_closed();
         assert_eq!(m.cache_counts(), (1, 2, 2));
+        assert_eq!(m.queue_depth(), 0);
         let text = m.render_prometheus();
         assert!(text.contains("dynamips_serve_queue_depth 0\n"));
         assert!(text.contains("dynamips_serve_open_connections 0\n"));
         assert!(text.contains("dynamips_serve_cache_evictions_total 2\n"));
+    }
+
+    #[test]
+    fn supervision_and_degradation_counters_render() {
+        let m = Metrics::new();
+        m.record_worker_panic();
+        m.record_worker_respawn();
+        m.record_degraded_response();
+        m.record_degraded_response();
+        assert_eq!(
+            (
+                m.worker_panics(),
+                m.worker_respawns(),
+                m.degraded_responses()
+            ),
+            (1, 1, 2)
+        );
+        let text = m.render_prometheus();
+        assert!(text.contains("dynamips_serve_worker_panics_total 1\n"));
+        assert!(text.contains("dynamips_serve_worker_respawns_total 1\n"));
+        assert!(text.contains("dynamips_serve_degraded_responses_total 2\n"));
     }
 }

@@ -13,6 +13,16 @@
 //! and [`Server::join`] returns once the pool is idle. (The process
 //! hosting the server is free of `unsafe`, so there is no OS signal
 //! handler; the drain path is exposed as an endpoint instead.)
+//!
+//! The worker pool is *supervised*: a handler panic is caught at the
+//! worker boundary, counted (`worker_panics_total`), and the dead slot
+//! is handed to a supervisor thread that respawns it after an
+//! exponential restart backoff. The panic streak resets whenever the
+//! pool makes progress between panics; a streak that keeps growing is
+//! a crash loop, and once `max_worker_respawns` is exhausted the slot
+//! stays dead rather than burning CPU on doomed restarts. A guard
+//! keeps the open-connection gauge balanced even when the connection's
+//! worker unwinds, so admission control never wedges on leaked counts.
 
 use std::collections::VecDeque;
 use std::io;
@@ -52,6 +62,20 @@ pub struct ServeConfig {
     pub retry_after_secs: u64,
     /// Maximum accepted request-head size in bytes (413 past this).
     pub max_head_bytes: usize,
+    /// Deadline for the whole rejection path (drain the rejected head,
+    /// write the 503), milliseconds. Deliberately much shorter than the
+    /// worker timeouts: the acceptor performs rejections inline, and a
+    /// slow-loris client must not hold the front door for the full
+    /// `read_timeout_ms`.
+    pub reject_timeout_ms: u64,
+    /// Base supervisor backoff before respawning a panicked worker,
+    /// milliseconds; doubles per consecutive panic without progress.
+    pub respawn_backoff_ms: u64,
+    /// Ceiling on the respawn backoff, milliseconds.
+    pub respawn_backoff_cap_ms: u64,
+    /// Crash-loop cap: total worker respawns before a dying slot is
+    /// left dead.
+    pub max_worker_respawns: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +88,10 @@ impl Default for ServeConfig {
             write_timeout_ms: 5_000,
             retry_after_secs: 1,
             max_head_bytes: 8_192,
+            reject_timeout_ms: 250,
+            respawn_backoff_ms: 10,
+            respawn_backoff_cap_ms: 1_000,
+            max_worker_respawns: 1_000,
         }
     }
 }
@@ -77,6 +105,10 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// Peers that vanished before a response could be written.
     pub disconnects: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic.
+    pub worker_respawns: u64,
 }
 
 struct Shared {
@@ -86,6 +118,10 @@ struct Shared {
     cfg: ServeConfig,
     metrics: Arc<Metrics>,
     handler: Arc<dyn Handler>,
+    /// Worker slots whose thread died to a panic, awaiting respawn.
+    dead_workers: Mutex<Vec<usize>>,
+    /// Wakes the supervisor when a slot dies (or shutdown begins).
+    supervisor_wake: Condvar,
 }
 
 fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
@@ -114,13 +150,15 @@ impl ShutdownHandle {
 fn begin_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.available.notify_all();
+    shared.supervisor_wake.notify_all();
 }
 
-/// A running server: an acceptor thread plus `cfg.workers` workers.
+/// A running server: an acceptor thread, `cfg.workers` supervised
+/// workers, and the supervisor that respawns them.
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: thread::JoinHandle<()>,
-    workers: Vec<thread::JoinHandle<()>>,
+    supervisor: thread::JoinHandle<()>,
     addr: SocketAddr,
 }
 
@@ -143,18 +181,21 @@ impl Server {
             cfg: cfg.clone(),
             metrics,
             handler,
+            dead_workers: Mutex::new(Vec::new()),
+            supervisor_wake: Condvar::new(),
         });
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for _ in 0..cfg.workers.max(1) {
-            let shared = Arc::clone(&shared);
-            workers.push(thread::spawn(move || worker_loop(&shared)));
+        for slot in 0..cfg.workers.max(1) {
+            workers.push(Some(spawn_worker(&shared, slot)));
         }
+        let supervisor_shared = Arc::clone(&shared);
+        let supervisor = thread::spawn(move || supervisor_loop(&supervisor_shared, workers));
         let acceptor_shared = Arc::clone(&shared);
         let acceptor = thread::spawn(move || accept_loop(&listener, &acceptor_shared));
         Ok(Server {
             shared,
             acceptor,
-            workers,
+            supervisor,
             addr: local,
         })
     }
@@ -176,22 +217,119 @@ impl Server {
     /// accepted, then return final counters.
     pub fn join(self) -> ServeSummary {
         join_thread(self.acceptor);
-        for w in self.workers {
-            join_thread(w);
-        }
+        // The supervisor drains the worker pool before exiting.
+        join_thread(self.supervisor);
         ServeSummary {
             served: self.shared.metrics.responses_total() - self.shared.metrics.admission_rejects(),
             rejected: self.shared.metrics.admission_rejects(),
             disconnects: self.shared.metrics.disconnects(),
+            worker_panics: self.shared.metrics.worker_panics(),
+            worker_respawns: self.shared.metrics.worker_respawns(),
         }
     }
 }
 
 fn join_thread(handle: thread::JoinHandle<()>) {
     if let Err(payload) = handle.join() {
-        // A worker panicking is a bug; surface it instead of hiding it.
+        // The acceptor and supervisor must never panic (worker panics
+        // are caught at the worker boundary); surface a bug here
+        // instead of hiding it.
         std::panic::resume_unwind(payload);
     }
+}
+
+/// Spawn the worker for `slot`. A panic anywhere in request handling is
+/// caught at this boundary, counted, and reported to the supervisor;
+/// the thread then exits cleanly so `join` never re-raises.
+fn spawn_worker(shared: &Arc<Shared>, slot: usize) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::spawn(move || {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)));
+        if outcome.is_err() {
+            shared.metrics.record_worker_panic();
+            shared
+                .dead_workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(slot);
+            shared.supervisor_wake.notify_all();
+        }
+    })
+}
+
+/// The supervisor: reaps panicked worker slots and respawns them with
+/// an exponential backoff. The backoff streak resets whenever the pool
+/// served responses between panics (a healthy pool that hit one bad
+/// request restarts fast); consecutive no-progress panics double the
+/// wait, and the `max_worker_respawns` cap stops a hopeless crash loop
+/// from consuming the process. On shutdown it drains pending respawns
+/// first, then joins every worker.
+fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<Option<thread::JoinHandle<()>>>) {
+    let mut streak: u32 = 0;
+    let mut last_served: u64 = 0;
+    let mut respawns: u64 = 0;
+    loop {
+        let slot = {
+            let mut dead = shared
+                .dead_workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(slot) = dead.pop() {
+                    break Some(slot);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // The timeout guards against a notify racing the park.
+                let (guard, _timed_out) = shared
+                    .supervisor_wake
+                    .wait_timeout(dead, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                dead = guard;
+            }
+        };
+        let Some(slot) = slot else { break };
+        // Reap the dead thread (its panic was already caught and
+        // counted at the worker boundary).
+        if let Some(handle) = workers.get_mut(slot).and_then(Option::take) {
+            let _ = handle.join();
+        }
+        // Crash-loop detection: only consecutive panics with no served
+        // responses in between grow the streak.
+        let served = shared.metrics.responses_total();
+        if served > last_served {
+            streak = 0;
+        }
+        last_served = served;
+        streak = streak.saturating_add(1);
+        if respawns >= shared.cfg.max_worker_respawns {
+            // Crash-loop cap exhausted: the slot stays dead. The
+            // remaining pool (if any) keeps serving.
+            continue;
+        }
+        thread::sleep(Duration::from_millis(respawn_backoff_ms(
+            &shared.cfg,
+            streak,
+        )));
+        if let Some(entry) = workers.get_mut(slot) {
+            *entry = Some(spawn_worker(shared, slot));
+            respawns += 1;
+            shared.metrics.record_worker_respawn();
+        }
+    }
+    for handle in workers.iter_mut().filter_map(Option::take) {
+        let _ = handle.join();
+    }
+}
+
+/// Exponential restart backoff: `respawn_backoff_ms << (streak - 1)`,
+/// capped at `respawn_backoff_cap_ms`.
+fn respawn_backoff_ms(cfg: &ServeConfig, streak: u32) -> u64 {
+    cfg.respawn_backoff_ms
+        .saturating_mul(1u64 << streak.saturating_sub(1).min(16))
+        .min(cfg.respawn_backoff_cap_ms)
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
@@ -231,12 +369,17 @@ fn admit(shared: &Shared, stream: TcpStream) {
 fn reject(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
     let m = &shared.metrics;
     m.record_admission_reject();
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    // Rejections run inline on the acceptor, so they get their own,
+    // much shorter deadline: a slow-loris client that never finishes
+    // its head loses its 503 after `reject_timeout_ms`, not after the
+    // worker-path `read_timeout_ms`.
+    let deadline = Duration::from_millis(shared.cfg.reject_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(deadline));
+    let _ = stream.set_write_timeout(Some(deadline));
     // Drain the request head before answering: closing a socket with
     // unread bytes in its receive buffer makes the kernel RST the
     // connection, tearing the 503 out from under the client. The read is
-    // bounded by max_head_bytes and the read timeout.
+    // bounded by max_head_bytes and the reject deadline.
     let _ = http::read_request_head(&mut stream, shared.cfg.max_head_bytes);
     let mut resp = Response::text(503, "server is at capacity; retry shortly\n");
     resp.retry_after_secs = Some(shared.cfg.retry_after_secs);
@@ -274,8 +417,28 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Balances the open-connection gauge on every exit path, including a
+/// handler panic unwinding through the worker: without this, a panic
+/// would leak the gauge and eventually wedge admission control.
+struct ConnGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            // The peer never got a response; account the abandonment.
+            self.metrics.record_disconnect();
+        }
+        self.metrics.conn_closed();
+    }
+}
+
 fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
     let m = &shared.metrics;
+    let _guard = ConnGuard {
+        metrics: &shared.metrics,
+    };
     let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
     let resp = match http::read_request_head(&mut stream, shared.cfg.max_head_bytes) {
@@ -284,7 +447,6 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant
         ParseOutcome::TooLarge => Response::text(413, "request head exceeds the configured cap\n"),
         ParseOutcome::Disconnected => {
             m.record_disconnect();
-            m.conn_closed();
             return;
         }
     };
@@ -292,7 +454,6 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant
         Ok(()) => m.record_response(resp.status, accepted_at.elapsed().as_micros() as u64),
         Err(_) => m.record_disconnect(),
     }
-    m.conn_closed();
 }
 
 /// Server-owned endpoints; anything unrecognized goes to the handler.
