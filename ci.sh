@@ -20,7 +20,9 @@ cargo run --quiet -p dynamips-lint
 cargo run --quiet -p dynamips-lint -- --format json > target/lint-report.json
 
 say "cargo build --release"
-cargo build --release --quiet --locked
+# --workspace matters: the root package is an umbrella, and without it
+# this stage leaves target/release/dynamips stale for the smokes below.
+cargo build --release --quiet --locked --workspace
 
 say "cargo test"
 cargo test --workspace -q
@@ -39,6 +41,8 @@ rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x --concurrency 0 >/dev/null 2>&1
 rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x \
     --bench-out /nonexistent-ci-dir/bench.json >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for unwritable --bench-out, got $rc"; exit 1; }
+rc=0; "$BIN" loadtest --url http://127.0.0.1:1/x --open-loop >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for --open-loop without --rate-rps, got $rc"; exit 1; }
 rc=0; "$BIN" serve --serve-workers 0 >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for --serve-workers 0, got $rc"; exit 1; }
 rc=0; "$BIN" chaos-serve --requests 0 >/dev/null 2>&1 || rc=$?
@@ -47,7 +51,7 @@ rc=0; "$BIN" chaos-serve --requests 0 >/dev/null 2>&1 || rc=$?
 say "serve smoke: ephemeral port, loadtest, clean drain"
 rm -f target/serve.log target/serve.err target/BENCH_serve.json
 "$BIN" serve --addr 127.0.0.1:0 --seed 11 --atlas-scale 0.02 --cdn-scale 0.02 \
-    > target/serve.log 2> target/serve.err &
+    --max-conns 2048 > target/serve.log 2> target/serve.err &
 SERVE_PID=$!
 URL=""
 for _ in $(seq 1 100); do
@@ -59,6 +63,15 @@ done
 "$BIN" loadtest --url "$URL/artifacts/fig1" --concurrency 16 --requests 48 \
     --bench-out target/BENCH_serve.json
 "$BIN" bench-check target/BENCH_serve.json
+
+say "open-loop smoke: 1024 keep-alive connections, seeded schedule, baseline gate"
+# loadtest exits 1 unless every request came back 2xx with zero
+# transport errors, so this line is the >=1k-connections acceptance.
+rm -f target/BENCH_openloop.json
+"$BIN" loadtest --url "$URL/healthz" --open-loop --rate-rps 600 --seed 42 \
+    --concurrency 1024 --requests 2048 --bench-out target/BENCH_openloop.json
+"$BIN" bench-check target/BENCH_openloop.json --baseline BENCH_serve_baseline.json
+
 "$BIN" loadtest --url "$URL/shutdown" --concurrency 1 --requests 1 \
     --bench-out target/BENCH_shutdown.json > /dev/null
 # The drain is cooperative; give it a bounded window, then insist.

@@ -109,6 +109,45 @@ impl PerfRecord {
     }
 }
 
+/// Compare a candidate bench record against a checked-in baseline and
+/// report every regression as a human-readable violation string (empty
+/// means the candidate passes).
+///
+/// The baseline's *phase names* carry the comparison direction:
+/// names ending in `-rps` are floors (throughput must not drop below
+/// the baseline) and names ending in `-ms` are ceilings (latency must
+/// not rise above it). A baseline phase the candidate does not report
+/// is itself a violation — silently dropping a metric is how
+/// regressions hide. Phases with any other suffix, and everything the
+/// candidate reports beyond the baseline, are ignored, so a baseline
+/// constrains exactly the metrics it names.
+pub fn regression_violations(candidate: &PerfRecord, baseline: &PerfRecord) -> Vec<String> {
+    let mut violations = Vec::new();
+    for bound in &baseline.phases {
+        let Some(got) = candidate.phases.iter().find(|p| p.name == bound.name) else {
+            if bound.name.ends_with("-rps") || bound.name.ends_with("-ms") {
+                violations.push(format!(
+                    "{}: baseline bounds it at {:.3} but the candidate does not report it",
+                    bound.name, bound.ms
+                ));
+            }
+            continue;
+        };
+        if bound.name.ends_with("-rps") && got.ms < bound.ms {
+            violations.push(format!(
+                "{}: {:.3} is below the baseline floor {:.3}",
+                bound.name, got.ms, bound.ms
+            ));
+        } else if bound.name.ends_with("-ms") && got.ms > bound.ms {
+            violations.push(format!(
+                "{}: {:.3} exceeds the baseline ceiling {:.3}",
+                bound.name, got.ms, bound.ms
+            ));
+        }
+    }
+    violations
+}
+
 /// Extract the raw token after `"key":` up to the next `,`, `\n` or `}`.
 fn scalar<'a>(json: &'a str, key: &str) -> Result<&'a str, String> {
     let tag = format!("\"{key}\":");
@@ -213,6 +252,52 @@ mod tests {
         let bad = record().to_json().replace("dynamips-bench-v1", "v999");
         let err = PerfRecord::parse(&bad).unwrap_err();
         assert!(err.contains("v999"), "{err}");
+    }
+
+    fn bench(phases: &[(&str, f64)]) -> PerfRecord {
+        PerfRecord {
+            phases: phases
+                .iter()
+                .map(|(name, ms)| PerfEntry {
+                    name: (*name).into(),
+                    ms: *ms,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn regression_violations_treat_rps_as_floors_and_ms_as_ceilings() {
+        let baseline = bench(&[
+            ("latency-p99-ms", 2000.0),
+            ("throughput-rps", 100.0),
+            ("late-sends", 5.0), // no -ms/-rps suffix: unconstrained
+        ]);
+        let good = bench(&[("latency-p99-ms", 1500.0), ("throughput-rps", 250.0)]);
+        assert!(regression_violations(&good, &baseline).is_empty());
+
+        let slow = bench(&[("latency-p99-ms", 2500.0), ("throughput-rps", 40.0)]);
+        let violations = regression_violations(&slow, &baseline);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("exceeds the baseline ceiling"));
+        assert!(violations[1].contains("below the baseline floor"));
+
+        // Boundary values pass: the baseline is inclusive.
+        let exact = bench(&[("latency-p99-ms", 2000.0), ("throughput-rps", 100.0)]);
+        assert!(regression_violations(&exact, &baseline).is_empty());
+    }
+
+    #[test]
+    fn missing_bounded_phases_are_violations_not_passes() {
+        let baseline = bench(&[("latency-p99-ms", 2000.0), ("throughput-rps", 100.0)]);
+        let silent = bench(&[("latency-p99-ms", 1.0)]);
+        let violations = regression_violations(&silent, &baseline);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("does not report it"),
+            "{violations:?}"
+        );
     }
 
     #[test]

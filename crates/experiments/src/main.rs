@@ -10,7 +10,9 @@
 //! dynamips lint [--format json]          # workspace invariant checker
 //! dynamips serve --addr 127.0.0.1:0      # HTTP serving layer
 //! dynamips loadtest --url http://127.0.0.1:8311/artifacts/fig1
+//! dynamips loadtest --open-loop --rate-rps 600 --url http://127.0.0.1:8311/healthz
 //! dynamips bench-check BENCH_all.json    # validate a bench record
+//! dynamips bench-check BENCH_serve.json --baseline BENCH_serve_baseline.json
 //! ```
 //!
 //! Artifact names and `--out` writability are validated *before* any
@@ -54,8 +56,15 @@ fn usage() -> ! {
          \x20          default; GET /shutdown drains and exits)\n\
          loadtest:  loadtest --url U [--concurrency N] [--requests N]\n\
          \x20          [--timeout-ms N] [--bench-out PATH]\n\
-         \x20          (closed-loop load generator; writes BENCH_serve.json)\n\
-         bench:     bench-check <path> (validate a dynamips-bench-v1 record)\n\
+         \x20          [--open-loop --rate-rps R] [--seed N]\n\
+         \x20          (closed-loop by default; --open-loop sends on a seeded\n\
+         \x20          Poisson arrival schedule over keep-alive connections\n\
+         \x20          and measures latency from each request's *scheduled*\n\
+         \x20          start, so server stalls are charged, not hidden;\n\
+         \x20          writes BENCH_serve.json)\n\
+         bench:     bench-check <path> [--baseline PATH]\n\
+         \x20          (validate a dynamips-bench-v1 record; with --baseline,\n\
+         \x20          fail on any `-ms` ceiling / `-rps` floor regression)\n\
          options:   --out DIR writes each artifact to DIR/<artifact>.txt\n\
          \x20          --threads N engine worker threads (default: all cores,\n\
          \x20          or DYNAMIPS_THREADS); --timings prints the per-stage\n\
@@ -96,7 +105,10 @@ fn main() {
     let mut lt_concurrency: Option<usize> = None;
     let mut lt_requests: Option<usize> = None;
     let mut lt_timeout_ms: Option<u64> = None;
+    let mut lt_open_loop = false;
+    let mut lt_rate_rps: Option<f64> = None;
     let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut bench_baseline: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -198,6 +210,17 @@ fn main() {
             }
             "--bench-out" => {
                 bench_out = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
+            }
+            "--open-loop" => lt_open_loop = true,
+            "--rate-rps" => {
+                lt_rate_rps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--baseline" => {
+                bench_baseline = Some(args.next().map(Into::into).unwrap_or_else(|| usage()))
             }
             "--rate" => chaos_rates.push(
                 args.next()
@@ -441,10 +464,21 @@ fn main() {
             concurrency: lt_concurrency.unwrap_or(16),
             requests: lt_requests.unwrap_or(100),
             timeout_ms: lt_timeout_ms.unwrap_or(10_000),
+            open_loop: lt_open_loop,
+            rate_rps: lt_rate_rps.unwrap_or(0.0),
+            seed: seed.unwrap_or(42),
         };
         // Usage errors exit 2 before any socket is opened.
         if ltcfg.concurrency == 0 || ltcfg.requests == 0 {
             eprintln!("loadtest: --concurrency and --requests must be >= 1");
+            std::process::exit(EXIT_USAGE);
+        }
+        if ltcfg.open_loop && !(ltcfg.rate_rps.is_finite() && ltcfg.rate_rps > 0.0) {
+            eprintln!("loadtest: --open-loop requires --rate-rps R with R > 0");
+            std::process::exit(EXIT_USAGE);
+        }
+        if !ltcfg.open_loop && lt_rate_rps.is_some() {
+            eprintln!("loadtest: --rate-rps only means something with --open-loop");
             std::process::exit(EXIT_USAGE);
         }
         if let Err(e) = dynamips_serve::client::split_url(&ltcfg.url) {
@@ -495,15 +529,41 @@ fn main() {
         let parsed = std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|text| dynamips_core::perf::PerfRecord::parse(&text));
-        match parsed {
-            Ok(record) => println!(
-                "{path}: dynamips-bench-v1 ok ({} phase(s), {} artifact entr(ies), {:.1} ms total)",
-                record.phases.len(),
-                record.artifacts.len(),
-                record.total_ms
-            ),
+        let record = match parsed {
+            Ok(record) => {
+                println!(
+                    "{path}: dynamips-bench-v1 ok ({} phase(s), {} artifact entr(ies), {:.1} ms total)",
+                    record.phases.len(),
+                    record.artifacts.len(),
+                    record.total_ms
+                );
+                record
+            }
             Err(e) => {
                 eprintln!("bench-check {path}: {e}");
+                std::process::exit(EXIT_RUN_FAILURE);
+            }
+        };
+        // With --baseline, enforce the regression thresholds it encodes:
+        // `-ms` phases are ceilings, `-rps` phases are floors.
+        if let Some(bpath) = bench_baseline {
+            let baseline = std::fs::read_to_string(&bpath)
+                .map_err(|e| e.to_string())
+                .and_then(|text| dynamips_core::perf::PerfRecord::parse(&text));
+            let baseline = match baseline {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bench-check: baseline {}: {e}", bpath.display());
+                    std::process::exit(EXIT_RUN_FAILURE);
+                }
+            };
+            let violations = dynamips_core::perf::regression_violations(&record, &baseline);
+            if violations.is_empty() {
+                println!("{path}: within baseline {}", bpath.display());
+            } else {
+                for v in &violations {
+                    eprintln!("bench-check {path}: regression: {v}");
+                }
                 std::process::exit(EXIT_RUN_FAILURE);
             }
         }

@@ -254,6 +254,7 @@ mod tests {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
+            close_requested: false,
         }
     }
 

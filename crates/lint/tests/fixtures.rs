@@ -191,7 +191,16 @@ fn serve_perf_exemption_does_not_leak_to_other_crates() {
         assert_eq!(findings.len(), 1, "{non_serve}: {findings:#?}");
         assert_eq!(findings[0].rule, "wall-clock", "{non_serve}");
     }
-    assert!(lint_path_content("crates/serve/src/server.rs", injected, &cfg).is_empty());
+    for serve_file in [
+        "crates/serve/src/server.rs",
+        "crates/serve/src/reactor.rs",
+        "crates/serve/src/poll.rs",
+    ] {
+        assert!(
+            lint_path_content(serve_file, injected, &cfg).is_empty(),
+            "{serve_file} is in the timing-exempt serving layer"
+        );
+    }
 }
 
 /// A thread spawn outside the declared concurrency layer is caught under
@@ -209,6 +218,8 @@ fn injected_thread_spawn_outside_concurrency_layer_is_caught() {
     assert_eq!(findings[0].line, 2);
     for allowed in [
         "crates/serve/src/server.rs",
+        "crates/serve/src/reactor.rs",
+        "crates/serve/src/poll.rs",
         "crates/experiments/src/engine.rs",
     ] {
         assert!(

@@ -1,7 +1,9 @@
 //! A minimal blocking HTTP/1.1 client over `std::net::TcpStream`, used
 //! by the load generator, the CI smoke, the chaos sweep, and the serve
-//! tests. It speaks exactly the dialect the server emits: one request
-//! per connection, `Connection: close`, body read to EOF.
+//! tests. The strict one-shot path ([`http_get`]) sends
+//! `Connection: close` and reads the body to EOF; the keep-alive path
+//! ([`KeepAliveConnection`]) frames responses by `Content-Length` and
+//! reuses one socket for sequential requests.
 //!
 //! Two layers live here. The transport layer ([`http_get`] /
 //! [`http_request`]) performs a single strict exchange: it tries every
@@ -28,6 +30,26 @@ use std::time::Duration;
 /// server streaming more than this is answered with an error, not OOM.
 const MAX_RESPONSE_BYTES: usize = 64 << 20;
 
+/// What the server said (or didn't) about when to retry.
+///
+/// `Retry-After` may legally be either delta-seconds or an HTTP-date.
+/// This client only parses the delta-seconds form, but an HTTP-date is
+/// still an *explicit server backoff request* — collapsing it to
+/// "absent" (the old behavior) made the retry policy ignore exactly the
+/// servers that asked most clearly to be left alone. The unparseable
+/// case is therefore its own state, honored at the policy's cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryAfter {
+    /// No `Retry-After` header was sent.
+    Absent,
+    /// A delta-seconds `Retry-After` value.
+    Seconds(u64),
+    /// A `Retry-After` header was present but not delta-seconds (e.g.
+    /// an HTTP-date): treated as "present, capped at
+    /// `retry_after_cap_ms`".
+    UnparseableHint,
+}
+
 /// One fetched response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchResult {
@@ -35,8 +57,8 @@ pub struct FetchResult {
     pub status: u16,
     /// Response body (after the blank line), read to EOF.
     pub body: Vec<u8>,
-    /// Parsed `Retry-After` header seconds, when the server sent one.
-    pub retry_after_secs: Option<u64>,
+    /// The server's `Retry-After` hint, if any.
+    pub retry_after: RetryAfter,
 }
 
 /// Split `http://host:port/path` into (`host:port`, `/path`).
@@ -156,11 +178,17 @@ fn parse_response(raw: &[u8]) -> Result<FetchResult, String> {
             Err(_) => return Err(format!("unparseable content-length {declared:?}")),
         }
     }
-    let retry_after_secs = header_value(&head, "retry-after").and_then(|v| v.parse::<u64>().ok());
+    let retry_after = match header_value(&head, "retry-after") {
+        None => RetryAfter::Absent,
+        Some(v) => match v.parse::<u64>() {
+            Ok(secs) => RetryAfter::Seconds(secs),
+            Err(_) => RetryAfter::UnparseableHint,
+        },
+    };
     Ok(FetchResult {
         status,
         body,
-        retry_after_secs,
+        retry_after,
     })
 }
 
@@ -173,6 +201,157 @@ fn header_value(head: &str, name: &str) -> Option<String> {
             .eq_ignore_ascii_case(name)
             .then(|| value.trim().to_string())
     })
+}
+
+/// A client-side HTTP/1.1 keep-alive connection: sequential `GET`s on
+/// one socket, with responses framed strictly by `Content-Length`
+/// instead of EOF. Used by the open-loop load generator (thousands of
+/// concurrent connections would otherwise each burn a three-way
+/// handshake per request) and, opt-in, by [`ResilientClient`].
+///
+/// The connection stops being reusable when the server answers
+/// `connection: close` or omits `Content-Length` (EOF framing consumes
+/// the socket); [`KeepAliveConnection::is_reusable`] reports which.
+pub struct KeepAliveConnection {
+    stream: TcpStream,
+    addr: String,
+    reusable: bool,
+    served: u64,
+}
+
+impl KeepAliveConnection {
+    /// Connect to `addr` with `timeout_ms` applied to connect, read,
+    /// and write independently.
+    pub fn connect(addr: &str, timeout_ms: u64) -> Result<KeepAliveConnection, String> {
+        let timeout = Duration::from_millis(timeout_ms.max(1));
+        let stream = connect_any(addr, timeout)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("set_read_timeout: {e}"))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| format!("set_write_timeout: {e}"))?;
+        Ok(KeepAliveConnection {
+            stream,
+            addr: addr.to_string(),
+            reusable: true,
+            served: 0,
+        })
+    }
+
+    /// Whether another request may be sent on this socket.
+    pub fn is_reusable(&self) -> bool {
+        self.reusable
+    }
+
+    /// Responses completed on this connection so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served
+    }
+
+    /// `GET path`, reusing the established socket. Any error poisons
+    /// the connection (the stream position is unknown afterwards).
+    pub fn get(&mut self, path: &str) -> Result<FetchResult, String> {
+        if !self.reusable {
+            return Err(format!("connection to {} is no longer reusable", self.addr));
+        }
+        let request = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr
+        );
+        if let Err(e) = self.stream.write_all(request.as_bytes()) {
+            self.reusable = false;
+            return Err(format!("write {}: {e}", self.addr));
+        }
+        match self.read_one_response() {
+            Ok(result) => {
+                self.served += 1;
+                Ok(result)
+            }
+            Err(e) => {
+                self.reusable = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// Read exactly one response: head to `\r\n\r\n`, then
+    /// `Content-Length` body bytes (or to EOF when no length was sent,
+    /// which consumes the connection).
+    fn read_one_response(&mut self) -> Result<FetchResult, String> {
+        let addr = self.addr.clone();
+        let mut raw = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            if raw.len() > MAX_RESPONSE_BYTES {
+                return Err(format!("response head from {addr} exceeds the buffer cap"));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(format!("read {addr}: connection closed mid-response")),
+                Ok(n) => raw.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                Err(e) => return Err(format!("read {addr}: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(raw.get(..head_end).unwrap_or(&raw)).to_string();
+        let declared = match header_value(&head, "content-length") {
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("unparseable content-length {v:?} from {addr}"))?,
+            ),
+            None => None,
+        };
+        match declared {
+            Some(len) => {
+                let need = head_end
+                    .checked_add(len)
+                    .filter(|n| *n <= MAX_RESPONSE_BYTES)
+                    .ok_or_else(|| format!("content-length {len} from {addr} exceeds the cap"))?;
+                while raw.len() < need {
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(format!("read {addr}: connection closed mid-body"));
+                        }
+                        Ok(n) => raw.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                        Err(e) => return Err(format!("read {addr}: {e}")),
+                    }
+                }
+                if raw.len() > need {
+                    // Bytes past the declared body belong to no request
+                    // we made: the framing is broken.
+                    return Err(format!(
+                        "read {addr}: {} bytes past the declared content-length",
+                        raw.len() - need
+                    ));
+                }
+            }
+            None => {
+                // EOF framing: legal, but consumes the connection.
+                self.reusable = false;
+                loop {
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => break,
+                        Ok(n) => {
+                            raw.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                            if raw.len() > MAX_RESPONSE_BYTES {
+                                return Err(format!("response from {addr} exceeds the cap"));
+                            }
+                        }
+                        Err(e) => return Err(format!("read {addr}: {e}")),
+                    }
+                }
+            }
+        }
+        if header_value(&head, "connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+        {
+            self.reusable = false;
+        }
+        parse_response(&raw)
+    }
 }
 
 /// A deterministic jitter source (SplitMix64): the same seed yields the
@@ -254,21 +433,21 @@ impl RetryPolicy {
 
     /// How long to wait before `next_attempt`, honoring a server-sent
     /// `Retry-After` (capped). Returns the wait in milliseconds and
-    /// whether the `Retry-After` value governed it.
+    /// whether the `Retry-After` value governed it. A present-but-
+    /// unparseable hint (HTTP-date form) is honored at the cap.
     pub fn retry_wait_ms(
         &self,
         next_attempt: u32,
-        retry_after_secs: Option<u64>,
+        retry_after: &RetryAfter,
         jitter: &mut JitterSource,
     ) -> (u64, bool) {
         let backoff = self.backoff_ms(next_attempt, jitter);
-        match retry_after_secs {
-            Some(secs) => {
-                let hinted = secs.saturating_mul(1_000).min(self.retry_after_cap_ms);
-                (backoff.max(hinted), hinted >= backoff)
-            }
-            None => (backoff, false),
-        }
+        let hinted = match retry_after {
+            RetryAfter::Absent => return (backoff, false),
+            RetryAfter::Seconds(secs) => secs.saturating_mul(1_000).min(self.retry_after_cap_ms),
+            RetryAfter::UnparseableHint => self.retry_after_cap_ms,
+        };
+        (backoff.max(hinted), hinted >= backoff)
     }
 }
 
@@ -422,6 +601,8 @@ pub struct ClientMetrics {
     transport_errors: AtomicU64,
     server_5xx: AtomicU64,
     retry_after_honored: AtomicU64,
+    retry_after_unparseable: AtomicU64,
+    conn_reuses: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_probes: AtomicU64,
     breaker_closes: AtomicU64,
@@ -483,6 +664,18 @@ impl ClientMetrics {
         "Backoffs governed by a server `Retry-After`."
     );
     counter!(
+        bump_retry_after_unparseable,
+        retry_after_unparseable_total,
+        retry_after_unparseable,
+        "`Retry-After` headers present but not delta-seconds (honored at the cap)."
+    );
+    counter!(
+        bump_conn_reuses,
+        conn_reuses_total,
+        conn_reuses,
+        "Requests sent on a reused (keep-alive) pooled connection."
+    );
+    counter!(
         bump_breaker_opens,
         breaker_opens_total,
         breaker_opens,
@@ -510,13 +703,15 @@ impl ClientMetrics {
     /// One-line summary for reports.
     pub fn render(&self) -> String {
         format!(
-            "attempts={} retries={} ok={} transport-errors={} http-5xx={} retry-after={} breaker(open={} probe={} close={} fast-fail={})",
+            "attempts={} retries={} ok={} transport-errors={} http-5xx={} retry-after={} retry-after-unparseable={} conn-reuses={} breaker(open={} probe={} close={} fast-fail={})",
             self.attempts_total(),
             self.retries_total(),
             self.successes_total(),
             self.transport_errors_total(),
             self.server_5xx_total(),
             self.retry_after_honored_total(),
+            self.retry_after_unparseable_total(),
+            self.conn_reuses_total(),
             self.breaker_opens_total(),
             self.breaker_probes_total(),
             self.breaker_closes_total(),
@@ -535,11 +730,20 @@ pub struct ResilientClient {
     breakers: Mutex<BTreeMap<String, CircuitBreaker>>,
     jitter: Mutex<JitterSource>,
     metrics: ClientMetrics,
+    /// Opt-in keep-alive pooling (see [`ResilientClient::with_connection_reuse`]).
+    reuse_connections: bool,
+    /// Idle keep-alive connections per endpoint, capped at [`POOL_CAP`].
+    pool: Mutex<BTreeMap<String, Vec<KeepAliveConnection>>>,
 }
+
+/// Idle pooled connections kept per endpoint.
+const POOL_CAP: usize = 8;
 
 impl ResilientClient {
     /// A client with `policy` and per-endpoint breakers under
-    /// `breaker_cfg`.
+    /// `breaker_cfg`. Connection reuse is off by default — callers that
+    /// tear servers (or proxies) down between requests keep the strict
+    /// one-exchange-per-socket behavior unless they opt in.
     pub fn new(policy: RetryPolicy, breaker_cfg: BreakerConfig) -> ResilientClient {
         let jitter = JitterSource::seeded(policy.jitter_seed);
         ResilientClient {
@@ -548,7 +752,59 @@ impl ResilientClient {
             breakers: Mutex::new(BTreeMap::new()),
             jitter: Mutex::new(jitter),
             metrics: ClientMetrics::new(),
+            reuse_connections: false,
+            pool: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Enable HTTP/1.1 keep-alive connection pooling: successful
+    /// exchanges park their socket for the next request to the same
+    /// endpoint. A pooled socket the server has since closed is
+    /// discarded and the request transparently falls back to a fresh
+    /// connection — staleness never surfaces as a transport error.
+    pub fn with_connection_reuse(mut self) -> ResilientClient {
+        self.reuse_connections = true;
+        self
+    }
+
+    fn pop_pooled(&self, addr: &str) -> Option<KeepAliveConnection> {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_mut(addr)
+            .and_then(Vec::pop)
+    }
+
+    fn push_pooled(&self, addr: &str, conn: KeepAliveConnection) {
+        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        let idle = pool.entry(addr.to_string()).or_default();
+        if idle.len() < POOL_CAP {
+            idle.push(conn);
+        }
+    }
+
+    /// One GET over the pool: try a parked connection first (a stale one
+    /// falls back to a fresh socket inside the same attempt), park the
+    /// socket again when it stayed reusable.
+    fn pooled_get(&self, addr: &str, path: &str, timeout_ms: u64) -> Result<FetchResult, String> {
+        if let Some(mut conn) = self.pop_pooled(addr) {
+            if let Ok(result) = conn.get(path) {
+                self.metrics.bump_conn_reuses();
+                if conn.is_reusable() {
+                    self.push_pooled(addr, conn);
+                }
+                return Ok(result);
+            }
+            // Stale pooled socket (server closed it while parked):
+            // fall through to a fresh connection without consuming a
+            // retry attempt.
+        }
+        let mut conn = KeepAliveConnection::connect(addr, timeout_ms)?;
+        let result = conn.get(path)?;
+        if conn.is_reusable() {
+            self.push_pooled(addr, conn);
+        }
+        Ok(result)
     }
 
     /// The client-side counters.
@@ -596,7 +852,11 @@ impl ResilientClient {
             if attempt > 1 {
                 self.metrics.bump_retries();
             }
-            let outcome = http_get(addr, path, timeout_ms);
+            let outcome = if self.reuse_connections {
+                self.pooled_get(addr, path, timeout_ms)
+            } else {
+                http_get(addr, path, timeout_ms)
+            };
             match outcome {
                 Ok(result) if result.status < 500 => {
                     if self.with_breaker(addr, |b| b.record_success()) {
@@ -611,13 +871,16 @@ impl ResilientClient {
                     if self.with_breaker(addr, |b| b.record_failure()) {
                         self.metrics.bump_breaker_opens();
                     }
+                    if result.retry_after == RetryAfter::UnparseableHint {
+                        self.metrics.bump_retry_after_unparseable();
+                    }
                     if attempt >= max_attempts {
                         return Ok(result);
                     }
                     let (wait_ms, honored) = {
                         let mut jitter = self.jitter.lock().unwrap_or_else(PoisonError::into_inner);
                         self.policy
-                            .retry_wait_ms(attempt + 1, result.retry_after_secs, &mut jitter)
+                            .retry_wait_ms(attempt + 1, &result.retry_after, &mut jitter)
                     };
                     if honored {
                         self.metrics.bump_retry_after();
@@ -672,9 +935,17 @@ mod tests {
             parse_response(b"HTTP/1.1 404 Not Found\r\nx: y\r\nRetry-After: 3\r\n\r\nmissing\n")
                 .unwrap();
         assert_eq!(
-            (ok.status, ok.body.as_slice(), ok.retry_after_secs),
-            (404, b"missing\n".as_slice(), Some(3))
+            (ok.status, ok.body.as_slice(), ok.retry_after),
+            (404, b"missing\n".as_slice(), RetryAfter::Seconds(3))
         );
+        // An HTTP-date Retry-After is present-but-unparseable, not absent.
+        let dated = parse_response(
+            b"HTTP/1.1 503 Unavailable\r\nRetry-After: Fri, 31 Dec 1999 23:59:59 GMT\r\n\r\nbusy\n",
+        )
+        .unwrap();
+        assert_eq!(dated.retry_after, RetryAfter::UnparseableHint);
+        let bare = parse_response(b"HTTP/1.1 200 OK\r\n\r\nok\n").unwrap();
+        assert_eq!(bare.retry_after, RetryAfter::Absent);
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1 banana\r\n\r\n").is_err());
         // A corrupted status line is a transport error even with a
@@ -737,12 +1008,17 @@ mod tests {
             jitter_seed: 1,
         };
         let mut jitter = JitterSource::seeded(1);
-        let (wait, honored) = policy.retry_wait_ms(2, Some(1), &mut jitter);
+        let (wait, honored) = policy.retry_wait_ms(2, &RetryAfter::Seconds(1), &mut jitter);
         assert!(honored);
         assert_eq!(wait, 300, "1s hint capped at 300ms");
-        let (wait, honored) = policy.retry_wait_ms(2, None, &mut jitter);
+        let (wait, honored) = policy.retry_wait_ms(2, &RetryAfter::Absent, &mut jitter);
         assert!(!honored);
         assert!(wait <= 50);
+        // Present-but-unparseable (HTTP-date form): honored at the cap,
+        // not silently dropped.
+        let (wait, honored) = policy.retry_wait_ms(2, &RetryAfter::UnparseableHint, &mut jitter);
+        assert!(honored);
+        assert_eq!(wait, 300, "unparseable hint pinned to retry_after_cap_ms");
     }
 
     #[test]
@@ -840,6 +1116,94 @@ mod tests {
         assert_eq!(m.transport_errors_total(), 1);
         assert_eq!(m.successes_total(), 1);
         assert_eq!(client.breaker_state(&addr), BreakerState::Closed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_connection_reuses_one_socket_and_honors_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0u32;
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            // Serve two keep-alive responses, then one with
+            // `connection: close`, all on the same socket.
+            while served < 3 {
+                while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+                buf.drain(..head_end);
+                served += 1;
+                let disposition = if served < 3 { "keep-alive" } else { "close" };
+                let body = format!("resp {served}\n");
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\ncontent-length: {}\r\nconnection: {disposition}\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(resp.as_bytes()).unwrap();
+            }
+        });
+        let mut conn = KeepAliveConnection::connect(&addr, 2_000).unwrap();
+        for n in 1..=3u32 {
+            let got = conn.get("/x").unwrap();
+            assert_eq!(got.status, 200);
+            assert_eq!(got.body, format!("resp {n}\n").into_bytes());
+        }
+        assert!(!conn.is_reusable(), "server said connection: close");
+        assert_eq!(conn.requests_served(), 3);
+        assert!(conn.get("/x").is_err(), "poisoned after close");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unparseable_retry_after_is_honored_at_the_cap_and_counted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = thread::spawn(move || {
+            for round in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 2048];
+                let mut head = Vec::new();
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => head.extend_from_slice(&buf[..n]),
+                    }
+                }
+                let resp: &[u8] = if round == 0 {
+                    b"HTTP/1.1 503 Unavailable\r\ncontent-length: 5\r\nRetry-After: Fri, 31 Dec 1999 23:59:59 GMT\r\nconnection: close\r\n\r\nbusy\n"
+                } else {
+                    b"HTTP/1.1 200 OK\r\ncontent-length: 3\r\nconnection: close\r\n\r\nok\n"
+                };
+                stream.write_all(resp).unwrap();
+            }
+        });
+        let client = ResilientClient::new(
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff_ms: 1,
+                max_backoff_ms: 2,
+                retry_after_cap_ms: 20,
+                jitter_seed: 5,
+            },
+            BreakerConfig::default(),
+        );
+        let got = client.get(&addr, "/x", 2_000).unwrap();
+        assert_eq!(got.status, 200);
+        let m = client.metrics();
+        assert_eq!(m.retry_after_unparseable_total(), 1);
+        assert_eq!(m.retry_after_honored_total(), 1, "cap governed the wait");
+        assert!(
+            m.render().contains("retry-after-unparseable=1"),
+            "{}",
+            m.render()
+        );
         server.join().unwrap();
     }
 

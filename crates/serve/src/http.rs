@@ -1,16 +1,19 @@
-//! Minimal HTTP/1.1 message handling over `std::net` — just enough for
-//! the serving layer: a bounded request-head reader (anything past the
-//! cap is answered `413`, anything structurally broken `400`), a tiny
-//! query-string parser, and a response writer that always sends
-//! `Content-Length` and `Connection: close`. One request per connection
-//! by design: the load generator and the CI smoke open fresh
-//! connections, which keeps worker accounting and admission control
-//! exact.
+//! Minimal HTTP/1.1 message handling over byte buffers and `std::net` —
+//! just enough for the serving layer: an incremental request-head
+//! scanner that walks a receive buffer one head at a time (so pipelined
+//! requests parse in order), a tiny query-string parser, and a response
+//! serializer that always sends an accurate `Content-Length` and an
+//! explicit connection [`Disposition`] (`keep-alive` or `close`). The
+//! reactor keeps connections alive by default; a parsed request records
+//! whether the client asked to close ([`Request::close_requested`]) so
+//! the serializer and the connection state machine agree on one
+//! disposition.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
-/// A parsed request line: method, path, and decomposed query string.
+/// A parsed request line: method, path, decomposed query string, and
+/// the client's connection preference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The HTTP method verbatim (`GET`, `POST`, …).
@@ -20,6 +23,10 @@ pub struct Request {
     /// `key=value` query pairs in request order (no percent-decoding:
     /// artifact names and numeric parameters are plain ASCII).
     pub query: Vec<(String, String)>,
+    /// Whether the client asked for the connection to close after this
+    /// response: `Connection: close`, or HTTP/1.0 without an explicit
+    /// `Connection: keep-alive`.
+    pub close_requested: bool,
 }
 
 /// What reading one request head produced.
@@ -35,18 +42,35 @@ pub enum ParseOutcome {
     Disconnected,
 }
 
+/// Scan `buf` for one complete request head starting at offset zero.
+///
+/// Returns `None` when the head is still incomplete and within the
+/// byte cap (read more), or `Some((outcome, consumed))` where
+/// `consumed` is how many buffer bytes the head used — the caller
+/// drains them and may call again on the remainder, which is how
+/// pipelined heads are parsed one at a time.
+pub fn scan_head(buf: &[u8], max_head_bytes: usize) -> Option<(ParseOutcome, usize)> {
+    match find_head_end(buf) {
+        // A complete-but-oversized head is still rejected: the cap is on
+        // head size, not on how much arrived before the terminator.
+        Some(end) if end > max_head_bytes => Some((ParseOutcome::TooLarge, end)),
+        Some(end) => Some((parse_head(buf, end), end)),
+        None if buf.len() > max_head_bytes => Some((ParseOutcome::TooLarge, buf.len())),
+        None => None,
+    }
+}
+
 /// Read the request head (request line + headers, up to the blank line)
 /// from `stream`, enforcing `max_head_bytes`. Body bytes are never read:
-/// every served endpoint is `GET`-shaped and bodyless.
+/// every served endpoint is `GET`-shaped and bodyless. Blocking
+/// convenience over [`scan_head`] for tests and one-shot callers; the
+/// reactor uses [`scan_head`] directly on its per-connection buffers.
 pub fn read_request_head(stream: &mut TcpStream, max_head_bytes: usize) -> ParseOutcome {
     let mut head: Vec<u8> = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    let head_end = loop {
-        if let Some(end) = find_head_end(&head) {
-            break end;
-        }
-        if head.len() > max_head_bytes {
-            return ParseOutcome::TooLarge;
+    loop {
+        if let Some((outcome, _consumed)) = scan_head(&head, max_head_bytes) {
+            return outcome;
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
@@ -61,8 +85,7 @@ pub fn read_request_head(stream: &mut TcpStream, max_head_bytes: usize) -> Parse
             Ok(n) => head.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
             Err(_) => return ParseOutcome::Disconnected,
         }
-    };
-    parse_request_line(&head, head_end)
+    }
 }
 
 /// Offset of the byte after the `\r\n\r\n` (or lenient `\n\n`) head
@@ -74,7 +97,9 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
 }
 
-fn parse_request_line(head: &[u8], head_end: usize) -> ParseOutcome {
+/// Parse one complete head (`head[..head_end]`): the request line plus
+/// a scan of the `Connection` header for the keep-alive disposition.
+fn parse_head(head: &[u8], head_end: usize) -> ParseOutcome {
     let text = match std::str::from_utf8(head.get(..head_end).unwrap_or(head)) {
         Ok(t) => t,
         Err(_) => return ParseOutcome::Malformed("request head is not UTF-8"),
@@ -105,10 +130,25 @@ fn parse_request_line(head: &[u8], head_end: usize) -> ParseOutcome {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         query.push((k.to_string(), v.to_string()));
     }
+    // Connection disposition: an explicit `close` wins, an explicit
+    // `keep-alive` wins over the version default, and HTTP/1.0 closes
+    // unless the client opted in.
+    let connection = text.lines().skip(1).find_map(|header| {
+        let (key, value) = header.split_once(':')?;
+        key.trim()
+            .eq_ignore_ascii_case("connection")
+            .then(|| value.trim().to_ascii_lowercase())
+    });
+    let close_requested = match connection.as_deref() {
+        Some(v) if v.contains("close") => true,
+        Some(v) if v.contains("keep-alive") => false,
+        _ => version == "HTTP/1.0",
+    };
     ParseOutcome::Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
         query,
+        close_requested,
     })
 }
 
@@ -133,6 +173,28 @@ pub struct Response {
 /// The `Warning` header value attached to stale-while-revalidate
 /// responses (RFC 7234 warn-code 110, "Response is Stale").
 pub const WARNING_STALE: &str = "110 dynamips-serve \"stale-while-revalidate\"";
+
+/// Whether a serialized response announces a reusable connection.
+/// Threaded through [`serialize_response`] so the keep-alive path and
+/// the admission-reject path share one serializer (the reject path
+/// always closes; a kept-alive success announces `keep-alive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The connection stays open for further requests.
+    KeepAlive,
+    /// The connection closes after this response.
+    Close,
+}
+
+impl Disposition {
+    /// The `Connection` header value this disposition serializes as.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            Disposition::KeepAlive => "keep-alive",
+            Disposition::Close => "close",
+        }
+    }
+}
 
 impl Response {
     /// A `text/plain` response.
@@ -169,16 +231,19 @@ impl Response {
     }
 }
 
-/// Serialize `resp` onto `stream` with `Content-Length` and
-/// `Connection: close`. I/O errors bubble up so the caller can count the
-/// disconnect; they are never fatal to the worker.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+/// Serialize `resp` into wire bytes with an accurate `Content-Length`
+/// and the given connection `disposition`. Every response path — fresh
+/// render, stale bytes, admission 503, parse 4xx — goes through this
+/// one function so keep-alive and reject connections cannot disagree
+/// about what was announced on the wire.
+pub fn serialize_response(resp: &Response, disposition: Disposition) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         resp.status,
         Response::reason(resp.status),
         resp.content_type,
-        resp.body.len()
+        resp.body.len(),
+        disposition.header_value(),
     );
     if let Some(secs) = resp.retry_after_secs {
         head.push_str(&format!("retry-after: {secs}\r\n"));
@@ -187,8 +252,20 @@ pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Resul
         head.push_str(&format!("warning: {warning}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Write a serialized `resp` onto `stream` with the given connection
+/// `disposition`. I/O errors bubble up so the caller can count the
+/// disconnect; they are never fatal to the server.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    disposition: Disposition,
+) -> std::io::Result<()> {
+    stream.write_all(&serialize_response(resp, disposition))?;
     stream.flush()
 }
 
@@ -226,6 +303,57 @@ mod tests {
                 ("atlas_scale".to_string(), "0.2".to_string())
             ]
         );
+        assert!(!req.close_requested, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_disposition_follows_header_and_version() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nconnection: Keep-Alive\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nHost: x\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nHost: x\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", false),
+        ];
+        for (bytes, want_close) in cases {
+            let out = parse_bytes(bytes, 8192);
+            let ParseOutcome::Ok(req) = out else {
+                panic!("{:?}: {out:?}", String::from_utf8_lossy(bytes));
+            };
+            assert_eq!(
+                req.close_requested,
+                *want_close,
+                "{:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn scan_head_walks_pipelined_requests_one_at_a_time() {
+        let mut buf: Vec<u8> =
+            b"GET /first HTTP/1.1\r\nHost: x\r\n\r\nGET /second HTTP/1.1\r\nHost: x\r\n\r\n"
+                .to_vec();
+        let (outcome, consumed) = scan_head(&buf, 8192).expect("first head complete");
+        let ParseOutcome::Ok(first) = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(first.path, "/first");
+        buf.drain(..consumed);
+        let (outcome, consumed) = scan_head(&buf, 8192).expect("second head complete");
+        let ParseOutcome::Ok(second) = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(second.path, "/second");
+        buf.drain(..consumed);
+        assert!(buf.is_empty());
+        assert!(scan_head(&buf, 8192).is_none(), "no third head");
+        // A partial trailing head stays pending until its terminator.
+        buf.extend_from_slice(b"GET /third HTT");
+        assert!(scan_head(&buf, 8192).is_none());
+        buf.extend_from_slice(b"P/1.1\r\n\r\n");
+        let (outcome, _) = scan_head(&buf, 8192).expect("third head complete");
+        assert!(matches!(outcome, ParseOutcome::Ok(req) if req.path == "/third"));
     }
 
     #[test]
@@ -251,14 +379,14 @@ mod tests {
     }
 
     #[test]
-    fn response_serializes_with_length_close_and_retry_after() {
+    fn response_serializes_with_length_disposition_and_retry_after() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let mut client = TcpStream::connect(addr).unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
         let mut resp = Response::text(503, "busy\n").mark_stale();
         resp.retry_after_secs = Some(2);
-        write_response(&mut server_side, &resp).unwrap();
+        write_response(&mut server_side, &resp, Disposition::Close).unwrap();
         drop(server_side);
         let mut got = String::new();
         std::io::Read::read_to_string(&mut client, &mut got).unwrap();
@@ -274,5 +402,20 @@ mod tests {
             "{got}"
         );
         assert!(got.ends_with("\r\n\r\nbusy\n"));
+    }
+
+    #[test]
+    fn keep_alive_and_close_paths_share_one_serializer() {
+        let resp = Response::text(200, "hello");
+        let kept = String::from_utf8(serialize_response(&resp, Disposition::KeepAlive)).unwrap();
+        let closed = String::from_utf8(serialize_response(&resp, Disposition::Close)).unwrap();
+        assert!(kept.contains("connection: keep-alive\r\n"), "{kept}");
+        assert!(kept.contains("content-length: 5\r\n"), "{kept}");
+        assert!(closed.contains("connection: close\r\n"), "{closed}");
+        // Identical except for the one connection header.
+        assert_eq!(
+            kept.replace("connection: keep-alive", "connection: close"),
+            closed
+        );
     }
 }

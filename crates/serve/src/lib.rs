@@ -3,30 +3,43 @@
 //!
 //! The crate is std-only by policy (the workspace `offline-deps` lint
 //! rule bans registry dependencies), so the whole stack — HTTP framing,
-//! worker pool, metrics, LRU, client, load generator — is built on
-//! `std::net` + `std::thread`:
+//! event loop, worker pool, metrics, LRU, client, load generator — is
+//! built on `std::net` + `std::thread` + four `epoll` FFI calls:
 //!
-//! - [`http`]: bounded request-head parsing and response writing.
-//! - [`server`]: nonblocking acceptor → bounded queue → fixed worker
-//!   pool, admission control (503 + `Retry-After` when full), per-
-//!   request socket timeouts, connection cap, cooperative drain via
+//! - [`http`]: bounded request-head parsing (incremental, pipelining-
+//!   aware via [`scan_head`]) and response serialization with an
+//!   explicit connection [`Disposition`] (keep-alive vs close).
+//! - [`poll`]: the thin epoll wrapper — the one module allowed to use
+//!   `unsafe`, confined to four FFI calls.
+//! - [`server`] / `reactor`: a single reactor thread drives every
+//!   connection through a reading → dispatched → writing → keep-alive
+//!   state machine with timer-wheel deadlines (read/write/idle, plus a
+//!   short reject window); parsed requests feed a supervised fixed
+//!   worker pool through a bounded queue. Admission control answers
+//!   503 + `Retry-After` when full; built-in routes (`/healthz`,
+//!   `/metrics`, `/shutdown`, `/`) are served inline on the reactor so
+//!   probes survive a crash-looping pool; drain is cooperative via
 //!   `GET /shutdown` or a [`ShutdownHandle`].
 //! - [`metrics`]: atomic counters/gauges/histogram with a Prometheus
 //!   text rendering at `GET /metrics`.
 //! - [`lru`]: the bounded LRU the artifact handler uses to keep warm
 //!   simulation worlds, mirroring the engine's `WorldCache` protocol.
-//! - [`client`] / [`loadtest`]: a `TcpStream` HTTP client and the
-//!   closed-loop load generator behind `dynamips loadtest`, which
-//!   reports p50/p90/p99 latency + throughput as `dynamips-bench-v1`.
+//! - [`client`] / [`loadtest`]: a strict one-shot HTTP client, a
+//!   [`KeepAliveConnection`] with `Content-Length` framing, and the
+//!   load generator behind `dynamips loadtest` — closed-loop or
+//!   open-loop with a seed-deterministic Poisson arrival schedule that
+//!   measures scheduled-start-to-response latency (no coordinated
+//!   omission), reported as `dynamips-bench-v1`.
 //!
 //! Failure model (PR 6): the worker pool is supervised — worker panics
 //! are caught, counted, and the slot respawned with exponential
 //! backoff and a crash-loop cap. The client side layers a
 //! [`RetryPolicy`] (bounded attempts, seeded-jitter backoff,
-//! `Retry-After` honored, GET-only) and a per-endpoint
-//! [`CircuitBreaker`] over the strict transport, with every transition
-//! counted in [`ClientMetrics`]; `chaos::net`'s fault-injecting proxy
-//! drives the whole stack in the `dynamips chaos-serve` sweep.
+//! `Retry-After` honored — including present-but-unparseable HTTP-date
+//! hints, capped — GET-only) and a per-endpoint [`CircuitBreaker`]
+//! over the strict transport, with every transition counted in
+//! [`ClientMetrics`]; `chaos::net`'s fault-injecting proxy drives the
+//! whole stack in the `dynamips chaos-serve` sweep.
 //!
 //! The application side (artifact rendering) is deliberately not here:
 //! this crate only knows the [`Handler`] trait. `dynamips-experiments`
@@ -49,14 +62,17 @@ pub mod http;
 pub mod loadtest;
 pub mod lru;
 pub mod metrics;
+pub mod poll;
+mod reactor;
 pub mod server;
 
 pub use client::{
     http_get, http_request, BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker,
-    ClientMetrics, FetchResult, JitterSource, ResilientClient, RetryPolicy,
+    ClientMetrics, FetchResult, JitterSource, KeepAliveConnection, ResilientClient, RetryAfter,
+    RetryPolicy,
 };
-pub use http::{Request, Response, WARNING_STALE};
-pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use http::{scan_head, Disposition, Request, Response, WARNING_STALE};
+pub use loadtest::{arrival_offsets_ms, run_loadtest, LoadtestConfig, LoadtestReport};
 pub use lru::{CacheLookup, LruCache};
 pub use metrics::Metrics;
 pub use server::{Handler, ServeConfig, ServeSummary, Server, ShutdownHandle};

@@ -48,6 +48,8 @@ pub struct Metrics {
     worker_respawns: AtomicU64,
     /// Responses served from stale bytes instead of a fresh render.
     degraded_responses: AtomicU64,
+    /// Requests served on an already-used connection (HTTP keep-alive).
+    keepalive_reuses: AtomicU64,
 }
 
 impl Metrics {
@@ -57,7 +59,7 @@ impl Metrics {
     }
 
     /// Record one written response and its end-to-end latency
-    /// (measured from accept to final flush).
+    /// (measured from completed request head to final flush).
     pub fn record_response(&self, status: u16, latency_us: u64) {
         let idx = TRACKED_STATUS
             .iter()
@@ -190,6 +192,17 @@ impl Metrics {
         self.degraded_responses.load(Ordering::Relaxed)
     }
 
+    /// A request arrived on a connection that already served at least
+    /// one response (HTTP/1.1 keep-alive reuse).
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Keep-alive connection reuses so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
     /// (hits, misses, evictions) so far.
     pub fn cache_counts(&self) -> (u64, u64, u64) {
         (
@@ -225,7 +238,7 @@ impl Metrics {
             "dynamips_serve_requests_total{{code=\"other\"}} {other}\n"
         ));
 
-        out.push_str("# HELP dynamips_serve_request_latency_ms Accept-to-flush request latency.\n");
+        out.push_str("# HELP dynamips_serve_request_latency_ms Head-to-flush request latency.\n");
         out.push_str("# TYPE dynamips_serve_request_latency_ms histogram\n");
         for (idx, ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
             let n = self
@@ -316,6 +329,12 @@ impl Metrics {
                 "counter",
                 self.degraded_responses.load(Ordering::Relaxed),
             ),
+            (
+                "dynamips_serve_keepalive_reuses_total",
+                "Requests served on a reused (keep-alive) connection.",
+                "counter",
+                self.keepalive_reuses.load(Ordering::Relaxed),
+            ),
         ] {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -382,6 +401,8 @@ mod tests {
         m.record_worker_respawn();
         m.record_degraded_response();
         m.record_degraded_response();
+        m.record_keepalive_reuse();
+        assert_eq!(m.keepalive_reuses(), 1);
         assert_eq!(
             (
                 m.worker_panics(),
@@ -394,5 +415,6 @@ mod tests {
         assert!(text.contains("dynamips_serve_worker_panics_total 1\n"));
         assert!(text.contains("dynamips_serve_worker_respawns_total 1\n"));
         assert!(text.contains("dynamips_serve_degraded_responses_total 2\n"));
+        assert!(text.contains("dynamips_serve_keepalive_reuses_total 1\n"));
     }
 }

@@ -1,18 +1,20 @@
-//! The server proper: a nonblocking acceptor feeding a fixed worker
-//! pool through a bounded queue, with admission control at the front
-//! door and graceful drain at the back.
+//! The server proper: one event-driven reactor thread
+//! ([`crate::reactor`]) owning every socket, a fixed worker pool fed
+//! parsed requests through a bounded queue, and a supervisor that
+//! respawns panicked workers.
 //!
-//! Load-shedding philosophy (the "503-on-full" rule): the queue and the
-//! connection count are both hard-bounded, and when either bound is hit
-//! the *acceptor* answers `503` + `Retry-After` inline instead of
-//! buffering. Under overload the server therefore degrades to fast,
-//! explicit rejections rather than unbounded memory growth and
+//! Load-shedding philosophy (the "503-on-full" rule): the request queue
+//! and the connection count are both hard-bounded, and when either
+//! bound is hit the *reactor* answers `503` + `Retry-After` inline
+//! instead of buffering. Under overload the server therefore degrades
+//! to fast, explicit rejections rather than unbounded memory growth and
 //! timeout-shaped collapse. Shutdown is cooperative: `GET /shutdown`
-//! (or a [`ShutdownHandle`]) flips a flag; the acceptor stops taking
-//! connections, workers drain everything already queued or in flight,
-//! and [`Server::join`] returns once the pool is idle. (The process
-//! hosting the server is free of `unsafe`, so there is no OS signal
-//! handler; the drain path is exposed as an endpoint instead.)
+//! (or a [`ShutdownHandle`]) flips a flag; the reactor stops accepting,
+//! in-flight requests complete, keep-alive connections parked between
+//! requests are closed, and [`Server::join`] returns once every
+//! connection has drained. (The serving path outside `poll.rs` is free
+//! of `unsafe`, so there is no OS signal handler; the drain path is
+//! exposed as an endpoint instead.)
 //!
 //! The worker pool is *supervised*: a handler panic is caught at the
 //! worker boundary, counted (`worker_panics_total`), and the dead slot
@@ -20,20 +22,25 @@
 //! exponential restart backoff. The panic streak resets whenever the
 //! pool makes progress between panics; a streak that keeps growing is
 //! a crash loop, and once `max_worker_respawns` is exhausted the slot
-//! stays dead rather than burning CPU on doomed restarts. A guard
-//! keeps the open-connection gauge balanced even when the connection's
-//! worker unwinds, so admission control never wedges on leaked counts.
+//! stays dead rather than burning CPU on doomed restarts. A job guard
+//! reports the abandoned request to the reactor even when the worker
+//! unwinds, so the connection is closed (and accounted) instead of
+//! leaking in the dispatched state. Built-in routes are answered on the
+//! reactor thread itself, so `/healthz` and `/metrics` stay live even
+//! with the entire pool crash-looping.
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crate::http::{self, ParseOutcome, Request, Response};
+use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+use crate::poll::{wake_pair, Waker};
+use crate::reactor::Reactor;
 
 /// Application-side request handling: the server resolves its own
 /// endpoints (`/healthz`, `/metrics`, `/shutdown`, `/`) and hands
@@ -49,14 +56,15 @@ pub trait Handler: Send + Sync + 'static {
 pub struct ServeConfig {
     /// Worker threads handling requests.
     pub workers: usize,
-    /// Bounded queue of accepted-but-unclaimed connections; admission
+    /// Bounded queue of parsed-but-unclaimed requests; admission
     /// control rejects past this.
     pub queue_cap: usize,
     /// Hard cap on simultaneously open connections (queued + in-flight).
     pub max_conns: usize,
-    /// Per-connection socket read timeout, milliseconds.
+    /// Deadline for receiving a complete request head once its first
+    /// byte arrives, milliseconds.
     pub read_timeout_ms: u64,
-    /// Per-connection socket write timeout, milliseconds.
+    /// Deadline for flushing a response, milliseconds.
     pub write_timeout_ms: u64,
     /// `Retry-After` seconds attached to admission 503s.
     pub retry_after_secs: u64,
@@ -64,10 +72,12 @@ pub struct ServeConfig {
     pub max_head_bytes: usize,
     /// Deadline for the whole rejection path (drain the rejected head,
     /// write the 503), milliseconds. Deliberately much shorter than the
-    /// worker timeouts: the acceptor performs rejections inline, and a
-    /// slow-loris client must not hold the front door for the full
-    /// `read_timeout_ms`.
+    /// serving deadlines: a slow-loris client that was already rejected
+    /// must not hold its connection slot for the full `read_timeout_ms`.
     pub reject_timeout_ms: u64,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it, milliseconds.
+    pub idle_timeout_ms: u64,
     /// Base supervisor backoff before respawning a panicked worker,
     /// milliseconds; doubles per consecutive panic without progress.
     pub respawn_backoff_ms: u64,
@@ -89,6 +99,7 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             max_head_bytes: 8_192,
             reject_timeout_ms: 250,
+            idle_timeout_ms: 5_000,
             respawn_backoff_ms: 10,
             respawn_backoff_cap_ms: 1_000,
             max_worker_respawns: 1_000,
@@ -99,7 +110,8 @@ impl Default for ServeConfig {
 /// Counters reported by [`Server::join`] after the drain completes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Responses written by workers (includes error statuses).
+    /// Responses served (includes error statuses, excludes admission
+    /// 503s).
     pub served: u64,
     /// Connections rejected 503 by admission control.
     pub rejected: u64,
@@ -111,21 +123,63 @@ pub struct ServeSummary {
     pub worker_respawns: u64,
 }
 
-struct Shared {
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-    cfg: ServeConfig,
-    metrics: Arc<Metrics>,
-    handler: Arc<dyn Handler>,
-    /// Worker slots whose thread died to a panic, awaiting respawn.
-    dead_workers: Mutex<Vec<usize>>,
-    /// Wakes the supervisor when a slot dies (or shutdown begins).
-    supervisor_wake: Condvar,
+/// One parsed request handed from the reactor to the worker pool.
+pub(crate) struct Job {
+    /// Reactor token of the owning connection.
+    pub(crate) token: u64,
+    /// The connection's request generation when dispatched; a
+    /// completion carrying a stale generation is dropped.
+    pub(crate) generation: u64,
+    /// The parsed request.
+    pub(crate) request: Request,
 }
 
-fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<(TcpStream, Instant)>> {
-    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+/// A worker's verdict on one job, routed back to the reactor.
+pub(crate) struct Completion {
+    /// Reactor token of the owning connection.
+    pub(crate) token: u64,
+    /// Generation echoed from the [`Job`].
+    pub(crate) generation: u64,
+    /// `Some` = the response to write; `None` = the handler panicked
+    /// and the connection must be closed without a response.
+    pub(crate) response: Option<Response>,
+}
+
+pub(crate) struct Shared {
+    /// Parsed requests awaiting a worker (bounded by `cfg.queue_cap`).
+    pub(crate) jobs: Mutex<VecDeque<Job>>,
+    /// Wakes workers when a job lands (or shutdown begins).
+    pub(crate) available: Condvar,
+    /// Finished jobs awaiting the reactor.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Wakes the reactor out of its poll (completions, shutdown).
+    pub(crate) waker: Waker,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) handler: Arc<dyn Handler>,
+    /// Worker slots whose thread died to a panic, awaiting respawn.
+    pub(crate) dead_workers: Mutex<Vec<usize>>,
+    /// Wakes the supervisor when a slot dies (or shutdown begins).
+    pub(crate) supervisor_wake: Condvar,
+    /// Currently-running worker threads. When this hits zero during a
+    /// drain, the reactor fails any still-queued jobs instead of
+    /// waiting forever on completions that can no longer arrive.
+    pub(crate) live_workers: AtomicU64,
+}
+
+fn lock_jobs(shared: &Shared) -> MutexGuard<'_, VecDeque<Job>> {
+    shared.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Queue one completion and wake the reactor.
+pub(crate) fn push_completion(shared: &Shared, completion: Completion) {
+    shared
+        .completions
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(completion);
+    shared.waker.wake();
 }
 
 /// A clonable trigger for the cooperative drain, usable from tests and
@@ -136,7 +190,7 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
-    /// Flip the shutdown flag and wake every idle worker.
+    /// Flip the shutdown flag and wake every idle thread.
     pub fn begin_shutdown(&self) {
         begin_shutdown(&self.shared);
     }
@@ -147,24 +201,25 @@ impl ShutdownHandle {
     }
 }
 
-fn begin_shutdown(shared: &Shared) {
+pub(crate) fn begin_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
     shared.available.notify_all();
     shared.supervisor_wake.notify_all();
+    shared.waker.wake();
 }
 
-/// A running server: an acceptor thread, `cfg.workers` supervised
+/// A running server: the reactor thread, `cfg.workers` supervised
 /// workers, and the supervisor that respawns them.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: thread::JoinHandle<()>,
+    reactor: thread::JoinHandle<()>,
     supervisor: thread::JoinHandle<()>,
     addr: SocketAddr,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// the acceptor and worker pool.
+    /// the reactor and worker pool.
     pub fn start(
         addr: &str,
         cfg: ServeConfig,
@@ -172,29 +227,32 @@ impl Server {
         metrics: Arc<Metrics>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let (waker, wake_rx) = wake_pair()?;
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker,
             shutdown: AtomicBool::new(false),
             cfg: cfg.clone(),
             metrics,
             handler,
             dead_workers: Mutex::new(Vec::new()),
             supervisor_wake: Condvar::new(),
+            live_workers: AtomicU64::new(0),
         });
+        let reactor = Reactor::new(listener, wake_rx, Arc::clone(&shared))?;
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for slot in 0..cfg.workers.max(1) {
             workers.push(Some(spawn_worker(&shared, slot)));
         }
         let supervisor_shared = Arc::clone(&shared);
         let supervisor = thread::spawn(move || supervisor_loop(&supervisor_shared, workers));
-        let acceptor_shared = Arc::clone(&shared);
-        let acceptor = thread::spawn(move || accept_loop(&listener, &acceptor_shared));
+        let reactor_thread = thread::spawn(move || reactor.run_loop());
         Ok(Server {
             shared,
-            acceptor,
+            reactor: reactor_thread,
             supervisor,
             addr: local,
         })
@@ -213,10 +271,10 @@ impl Server {
     }
 
     /// Block until shutdown is requested (via `/shutdown` or a
-    /// [`ShutdownHandle`]) and the pool has drained every connection it
-    /// accepted, then return final counters.
+    /// [`ShutdownHandle`]) and every accepted connection has drained,
+    /// then return final counters.
     pub fn join(self) -> ServeSummary {
-        join_thread(self.acceptor);
+        join_thread(self.reactor);
         // The supervisor drains the worker pool before exiting.
         join_thread(self.supervisor);
         ServeSummary {
@@ -231,7 +289,7 @@ impl Server {
 
 fn join_thread(handle: thread::JoinHandle<()>) {
     if let Err(payload) = handle.join() {
-        // The acceptor and supervisor must never panic (worker panics
+        // The reactor and supervisor must never panic (worker panics
         // are caught at the worker boundary); surface a bug here
         // instead of hiding it.
         std::panic::resume_unwind(payload);
@@ -243,9 +301,11 @@ fn join_thread(handle: thread::JoinHandle<()>) {
 /// the thread then exits cleanly so `join` never re-raises.
 fn spawn_worker(shared: &Arc<Shared>, slot: usize) -> thread::JoinHandle<()> {
     let shared = Arc::clone(shared);
+    shared.live_workers.fetch_add(1, Ordering::SeqCst);
     thread::spawn(move || {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)));
+        shared.live_workers.fetch_sub(1, Ordering::SeqCst);
         if outcome.is_err() {
             shared.metrics.record_worker_panic();
             shared
@@ -255,6 +315,8 @@ fn spawn_worker(shared: &Arc<Shared>, slot: usize) -> thread::JoinHandle<()> {
                 .push(slot);
             shared.supervisor_wake.notify_all();
         }
+        // A drain may be waiting on this pool: let the reactor re-check.
+        shared.waker.wake();
     })
 }
 
@@ -332,69 +394,54 @@ fn respawn_backoff_ms(cfg: &ServeConfig, streak: u32) -> u64 {
         .min(cfg.respawn_backoff_cap_ms)
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => admit(shared, stream),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
+/// Reports the job's fate to the reactor on every exit path, including
+/// a handler panic unwinding through the worker: without this, a panic
+/// would leave the connection dispatched forever (and leak the
+/// open-connection gauge the reactor balances at close).
+struct JobGuard<'a> {
+    shared: &'a Shared,
+    token: u64,
+    generation: u64,
+    completed: bool,
+}
+
+impl JobGuard<'_> {
+    fn complete(mut self, response: Response) {
+        self.completed = true;
+        push_completion(
+            self.shared,
+            Completion {
+                token: self.token,
+                generation: self.generation,
+                response: Some(response),
+            },
+        );
+    }
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            // The handler unwound: the peer never gets a response and
+            // the reactor closes (and accounts) the connection.
+            push_completion(
+                self.shared,
+                Completion {
+                    token: self.token,
+                    generation: self.generation,
+                    response: None,
+                },
+            );
         }
-    }
-    // Unblock any worker still parked on the condvar.
-    shared.available.notify_all();
-}
-
-/// Admission control: reject inline with 503 when either bound is hit,
-/// otherwise enqueue for the worker pool.
-fn admit(shared: &Shared, stream: TcpStream) {
-    let m = &shared.metrics;
-    let accepted_at = Instant::now();
-    let mut queue = lock_queue(shared);
-    let over_queue = queue.len() >= shared.cfg.queue_cap;
-    let over_conns = m.open_connections() >= shared.cfg.max_conns as u64;
-    if over_queue || over_conns {
-        drop(queue);
-        reject(shared, stream, accepted_at);
-        return;
-    }
-    m.conn_opened();
-    m.queue_enter();
-    queue.push_back((stream, accepted_at));
-    drop(queue);
-    shared.available.notify_one();
-}
-
-fn reject(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
-    let m = &shared.metrics;
-    m.record_admission_reject();
-    // Rejections run inline on the acceptor, so they get their own,
-    // much shorter deadline: a slow-loris client that never finishes
-    // its head loses its 503 after `reject_timeout_ms`, not after the
-    // worker-path `read_timeout_ms`.
-    let deadline = Duration::from_millis(shared.cfg.reject_timeout_ms.max(1));
-    let _ = stream.set_read_timeout(Some(deadline));
-    let _ = stream.set_write_timeout(Some(deadline));
-    // Drain the request head before answering: closing a socket with
-    // unread bytes in its receive buffer makes the kernel RST the
-    // connection, tearing the 503 out from under the client. The read is
-    // bounded by max_head_bytes and the reject deadline.
-    let _ = http::read_request_head(&mut stream, shared.cfg.max_head_bytes);
-    let mut resp = Response::text(503, "server is at capacity; retry shortly\n");
-    resp.retry_after_secs = Some(shared.cfg.retry_after_secs);
-    match http::write_response(&mut stream, &resp) {
-        Ok(()) => m.record_response(503, accepted_at.elapsed().as_micros() as u64),
-        Err(_) => m.record_disconnect(),
     }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = lock_queue(shared);
+            let mut jobs = lock_jobs(shared);
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = jobs.pop_front() {
                     shared.metrics.queue_leave();
                     break Some(job);
                 }
@@ -405,74 +452,24 @@ fn worker_loop(shared: &Shared) {
                 // correctness only needs the flag re-check.
                 let (guard, _timed_out) = shared
                     .available
-                    .wait_timeout(queue, Duration::from_millis(50))
+                    .wait_timeout(jobs, Duration::from_millis(50))
                     .unwrap_or_else(PoisonError::into_inner);
-                queue = guard;
+                jobs = guard;
             }
         };
         match job {
-            Some((stream, accepted_at)) => serve_connection(shared, stream, accepted_at),
+            Some(job) => {
+                let guard = JobGuard {
+                    shared,
+                    token: job.token,
+                    generation: job.generation,
+                    completed: false,
+                };
+                let resp = shared.handler.respond(&job.request);
+                guard.complete(resp);
+            }
             None => return,
         }
-    }
-}
-
-/// Balances the open-connection gauge on every exit path, including a
-/// handler panic unwinding through the worker: without this, a panic
-/// would leak the gauge and eventually wedge admission control.
-struct ConnGuard<'a> {
-    metrics: &'a Metrics,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        if thread::panicking() {
-            // The peer never got a response; account the abandonment.
-            self.metrics.record_disconnect();
-        }
-        self.metrics.conn_closed();
-    }
-}
-
-fn serve_connection(shared: &Shared, mut stream: TcpStream, accepted_at: Instant) {
-    let m = &shared.metrics;
-    let _guard = ConnGuard {
-        metrics: &shared.metrics,
-    };
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
-    let resp = match http::read_request_head(&mut stream, shared.cfg.max_head_bytes) {
-        ParseOutcome::Ok(req) => route(shared, &req),
-        ParseOutcome::Malformed(why) => Response::text(400, format!("bad request: {why}\n")),
-        ParseOutcome::TooLarge => Response::text(413, "request head exceeds the configured cap\n"),
-        ParseOutcome::Disconnected => {
-            m.record_disconnect();
-            return;
-        }
-    };
-    match http::write_response(&mut stream, &resp) {
-        Ok(()) => m.record_response(resp.status, accepted_at.elapsed().as_micros() as u64),
-        Err(_) => m.record_disconnect(),
-    }
-}
-
-/// Server-owned endpoints; anything unrecognized goes to the handler.
-fn route(shared: &Shared, req: &Request) -> Response {
-    if req.method != "GET" {
-        return Response::text(405, "only GET is served\n");
-    }
-    match req.path.as_str() {
-        "/healthz" => Response::text(200, "ok\n"),
-        "/metrics" => Response::text(200, shared.metrics.render_prometheus()),
-        "/shutdown" => {
-            begin_shutdown(shared);
-            Response::text(200, "draining\n")
-        }
-        "/" => Response::text(
-            200,
-            "dynamips-serve\n\nGET /artifacts            list artifact names\nGET /artifacts/<name>     render one artifact (?seed=&atlas_scale=&cdn_scale=)\nGET /healthz              liveness probe\nGET /metrics              Prometheus text metrics\nGET /shutdown             drain in-flight requests and exit\n",
-        ),
-        _ => shared.handler.respond(req),
     }
 }
 

@@ -1,0 +1,118 @@
+//! Open-loop load-generator acceptance: a run is fully accounted and
+//! deterministic in its schedule, and — the reason the mode exists — a
+//! stalling server inflates the open-loop tail latency where the
+//! closed-loop generator would have hidden it (coordinated omission).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dynamips_serve::{
+    run_loadtest, Handler, LoadtestConfig, Metrics, Request, Response, ServeConfig, Server,
+};
+
+/// Handler that takes a fixed wall-clock time per request, so the
+/// service rate is known and slower than the open-loop arrival rate.
+struct Sleepy(u64);
+
+impl Handler for Sleepy {
+    fn respond(&self, _req: &Request) -> Response {
+        std::thread::sleep(Duration::from_millis(self.0));
+        Response::text(200, "ok\n")
+    }
+}
+
+fn start(cfg: ServeConfig, delay_ms: u64) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        cfg,
+        Arc::new(Sleepy(delay_ms)),
+        Arc::new(Metrics::new()),
+    )
+    .expect("bind ephemeral")
+}
+
+#[test]
+fn open_loop_run_is_fully_accounted_over_keep_alive_connections() {
+    let server = start(ServeConfig::default(), 0);
+    let url = format!("http://{}/probe", server.local_addr());
+
+    let cfg = LoadtestConfig {
+        url,
+        concurrency: 8,
+        requests: 40,
+        timeout_ms: 10_000,
+        open_loop: true,
+        rate_rps: 500.0,
+        seed: 42,
+    };
+    let report = run_loadtest(&cfg).expect("open-loop run");
+    assert!(report.open_loop);
+    assert_eq!(report.seed, 42);
+    assert_eq!(report.target_rps, 500.0);
+    assert!(report.all_ok(), "{}", report.render_text());
+    assert_eq!(report.ok_2xx, 40);
+    assert_eq!(report.transport_errors, 0);
+    // The bench record carries the open-loop provenance.
+    let record = report.to_perf_record();
+    assert_eq!(record.seed, 42);
+    assert!(record
+        .artifacts
+        .iter()
+        .any(|e| e.name == "target-rps" && e.ms == 500.0));
+
+    server.shutdown_handle().begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn stalled_server_inflates_open_loop_p99_where_closed_loop_hides_it() {
+    // One worker at ~40 ms per request caps service at ~25 req/s.
+    let server = start(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        40,
+    );
+    let url = format!("http://{}/slow", server.local_addr());
+
+    // Closed loop, one in flight: the generator waits for the server,
+    // so every sample is just the service time — the stall never shows.
+    let closed = run_loadtest(&LoadtestConfig {
+        url: url.clone(),
+        concurrency: 1,
+        requests: 25,
+        timeout_ms: 10_000,
+        open_loop: false,
+        rate_rps: 0.0,
+        seed: 0,
+    })
+    .expect("closed-loop run");
+    assert!(closed.all_ok(), "{}", closed.render_text());
+
+    // Open loop at 100 req/s against a 25 req/s server: arrivals keep
+    // coming on schedule, the queue grows, and every queued arrival is
+    // charged its wait from the *scheduled* start.
+    let open = run_loadtest(&LoadtestConfig {
+        url,
+        concurrency: 8,
+        requests: 25,
+        timeout_ms: 10_000,
+        open_loop: true,
+        rate_rps: 100.0,
+        seed: 7,
+    })
+    .expect("open-loop run");
+    assert!(open.all_ok(), "{}", open.render_text());
+
+    assert!(
+        open.p99_ms > 3.0 * closed.p99_ms,
+        "open-loop p99 {:.1} ms should dwarf closed-loop p99 {:.1} ms \
+         when arrivals outpace service",
+        open.p99_ms,
+        closed.p99_ms
+    );
+
+    server.shutdown_handle().begin_shutdown();
+    server.join();
+}
